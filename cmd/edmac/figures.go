@@ -1,0 +1,158 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+// paperDelays and paperBudgets are the sweeps of the paper's figures.
+var (
+	paperDelays  = []float64{1, 2, 3, 4, 5, 6}
+	paperBudgets = []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06}
+)
+
+// cmdFigure regenerates Figure 1 (fig1: Ebudget fixed at 0.06 J, Lmax
+// swept over 1..6 s) or Figure 2 (fig2: Lmax fixed at 6 s, Ebudget swept
+// over 0.01..0.06 J) for one protocol or all three.
+func cmdFigure(args []string, fig1 bool) error {
+	fs := flag.NewFlagSet("fig", flag.ContinueOnError)
+	protocol := fs.String("protocol", "all", "protocol (xmac, dmac, lmac, all)")
+	plot := fs.Bool("plot", true, "render an ASCII scatter of frontier and trade-off points")
+	scenario := scenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	protos := []edmac.Protocol{edmac.XMAC, edmac.DMAC, edmac.LMAC}
+	if *protocol != "all" {
+		protos = []edmac.Protocol{edmac.Protocol(*protocol)}
+	}
+	for _, p := range protos {
+		if err := figureFor(p, scenario(), fig1, *plot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func figureFor(p edmac.Protocol, s edmac.Scenario, fig1, plot bool) error {
+	if fig1 {
+		fmt.Printf("\n== Figure 1 (%s): Ebudget = 0.06 J, Lmax in 1..6 s ==\n", p)
+	} else {
+		fmt.Printf("\n== Figure 2 (%s): Lmax = 6 s, Ebudget in 0.01..0.06 J ==\n", p)
+	}
+	fmt.Printf("%-14s %-12s %-10s %s\n", "sweep value", "E* [J]", "L* [s]", "flags")
+
+	type mark struct{ e, l float64 }
+	var marks []mark
+	sweep := paperDelays
+	if !fig1 {
+		sweep = paperBudgets
+	}
+	for _, v := range sweep {
+		req := edmac.Requirements{EnergyBudget: 0.06, MaxDelay: v}
+		label := fmt.Sprintf("Lmax=%g s", v)
+		if !fig1 {
+			req = edmac.Requirements{EnergyBudget: v, MaxDelay: 6}
+			label = fmt.Sprintf("Eb=%g J", v)
+		}
+		res, err := edmac.OptimizeRelaxed(p, s, req)
+		if err != nil {
+			fmt.Printf("%-14s infeasible: %v\n", label, err)
+			continue
+		}
+		flags := "-"
+		if res.BudgetExceeded {
+			flags = "over-budget"
+		}
+		fmt.Printf("%-14s %-12.5g %-10.4g %s\n", label, res.Bargain.Energy, res.Bargain.Delay, flags)
+		marks = append(marks, mark{res.Bargain.Energy, res.Bargain.Delay})
+	}
+
+	if !plot {
+		return nil
+	}
+	front, err := edmac.Frontier(p, s, edmac.Requirements{EnergyBudget: 10, MaxDelay: 6}, 40)
+	if err != nil {
+		return fmt.Errorf("frontier for plot: %w", err)
+	}
+	var xs, ys []float64
+	for _, f := range front {
+		xs = append(xs, f.Energy)
+		ys = append(ys, f.Delay)
+	}
+	var mx, my []float64
+	for _, m := range marks {
+		mx = append(mx, m.e)
+		my = append(my, m.l)
+	}
+	fmt.Println(asciiScatter(xs, ys, mx, my, 64, 18,
+		"E [J] →", "L [s] ↑  (.: frontier, o: trade-off points)"))
+	return nil
+}
+
+// asciiScatter renders two point sets on a text grid: background points
+// as '.' and marked points as 'o'.
+func asciiScatter(xs, ys, mx, my []float64, w, h int, xlabel, ylabel string) string {
+	minX, maxX := bounds(append(append([]float64{}, xs...), mx...))
+	minY, maxY := bounds(append(append([]float64{}, ys...), my...))
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = make([]byte, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	place := func(x, y float64, ch byte) {
+		cx := int(float64(w-1) * (x - minX) / (maxX - minX))
+		cy := int(float64(h-1) * (y - minY) / (maxY - minY))
+		grid[h-1-cy][cx] = ch
+	}
+	for i := range xs {
+		place(xs[i], ys[i], '.')
+	}
+	for i := range mx {
+		place(mx[i], my[i], 'o')
+	}
+	out := ylabel + "\n"
+	for _, row := range grid {
+		out += "|" + string(row) + "\n"
+	}
+	out += "+" + repeat('-', w) + "\n"
+	out += fmt.Sprintf(" %-10.4g%s%10.4g   %s\n", minX, repeat(' ', w-22), maxX, xlabel)
+	return out
+}
+
+func bounds(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 1
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func repeat(ch byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}

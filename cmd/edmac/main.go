@@ -1,0 +1,213 @@
+// Command edmac optimizes duty-cycled MAC protocol parameters for a fair
+// energy-delay trade-off using the Nash-bargaining framework, and
+// regenerates the paper's figures.
+//
+// Usage:
+//
+//	edmac optimize -protocol xmac -budget 0.06 -deadline 6
+//	edmac compare  -budget 0.06 -deadline 6
+//	edmac frontier -protocol lmac -deadline 6 -points 25
+//	edmac fig1     [-protocol xmac|dmac|lmac|all]
+//	edmac fig2     [-protocol xmac|dmac|lmac|all]
+//	edmac params   -protocol dmac
+//
+// Scenario flags (-depth, -density, -interval, -window, -payload,
+// -radio) are accepted by every subcommand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edmac:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (optimize, compare, frontier, fig1, fig2, params)")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "optimize":
+		return cmdOptimize(rest)
+	case "compare":
+		return cmdCompare(rest)
+	case "frontier":
+		return cmdFrontier(rest)
+	case "fig1":
+		return cmdFigure(rest, true)
+	case "fig2":
+		return cmdFigure(rest, false)
+	case "params":
+		return cmdParams(rest)
+	case "help", "-h", "--help":
+		fmt.Println("subcommands: optimize, compare, frontier, fig1, fig2, params")
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// scenarioFlags registers the deployment flags on fs and returns a
+// loader to call after parsing.
+func scenarioFlags(fs *flag.FlagSet) func() edmac.Scenario {
+	def := edmac.DefaultScenario()
+	depth := fs.Int("depth", def.Depth, "network depth D in hops")
+	density := fs.Int("density", def.Density, "unit-disk neighbourhood density C")
+	interval := fs.Float64("interval", def.SampleInterval, "seconds between samples per node")
+	window := fs.Float64("window", def.Window, "energy accounting window in seconds")
+	payload := fs.Int("payload", def.Payload, "application payload bytes")
+	radioName := fs.String("radio", def.Radio, "radio profile (cc2420, cc1101)")
+	return func() edmac.Scenario {
+		return edmac.Scenario{
+			Depth:          *depth,
+			Density:        *density,
+			SampleInterval: *interval,
+			Window:         *window,
+			Payload:        *payload,
+			Radio:          *radioName,
+		}
+	}
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	protocol := fs.String("protocol", "xmac", "protocol (xmac, dmac, lmac, bmac)")
+	budget := fs.Float64("budget", 0.06, "energy budget per window in joules")
+	deadline := fs.Float64("deadline", 6, "maximum end-to-end delay in seconds")
+	relaxed := fs.Bool("relaxed", false, "allow best-effort points when the pair is unattainable")
+	scenario := scenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := edmac.Requirements{EnergyBudget: *budget, MaxDelay: *deadline}
+	var res edmac.Result
+	var err error
+	if *relaxed {
+		res, err = edmac.OptimizeRelaxed(edmac.Protocol(*protocol), scenario(), req)
+	} else {
+		res, err = edmac.Optimize(edmac.Protocol(*protocol), scenario(), req)
+	}
+	if err != nil {
+		return err
+	}
+	printResult(res, scenario())
+	return nil
+}
+
+func printResult(res edmac.Result, s edmac.Scenario) {
+	specs, _ := edmac.Params(res.Protocol, s)
+	fmt.Printf("protocol      %s\n", res.Protocol)
+	fmt.Printf("requirements  Ebudget=%g J/window, Lmax=%g s\n",
+		res.Requirements.EnergyBudget, res.Requirements.MaxDelay)
+	row := func(name string, p edmac.OperatingPoint) {
+		fmt.Printf("%-13s E=%-10.5g L=%-9.4g params=%s\n", name, p.Energy, p.Delay, formatParams(p.Params, specs))
+	}
+	row("energy-opt", res.EnergyOptimal)
+	row("delay-opt", res.DelayOptimal)
+	fmt.Printf("%-13s E=%-10.5g L=%-9.4g\n", "threat point", res.WorstEnergy, res.WorstDelay)
+	row("nash bargain", res.Bargain)
+	fmt.Printf("fairness      energy=%.3f delay=%.3f\n", res.FairnessEnergy, res.FairnessDelay)
+	if res.BudgetExceeded {
+		fmt.Println("note          requirements jointly unattainable; best-effort point exceeds the budget")
+	}
+	if res.Degenerate {
+		fmt.Println("note          degenerate game: no strict joint improvement over the threat point")
+	}
+}
+
+func formatParams(params []float64, specs []edmac.ParamSpec) string {
+	out := ""
+	for i, v := range params {
+		if i > 0 {
+			out += ", "
+		}
+		if i < len(specs) {
+			out += fmt.Sprintf("%s=%.4g %s", specs[i].Name, v, specs[i].Unit)
+		} else {
+			out += fmt.Sprintf("%.4g", v)
+		}
+	}
+	return out
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	budget := fs.Float64("budget", 0.06, "energy budget per window in joules")
+	deadline := fs.Float64("deadline", 6, "maximum end-to-end delay in seconds")
+	scenario := scenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := edmac.Requirements{EnergyBudget: *budget, MaxDelay: *deadline}
+	comps := edmac.Compare(scenario(), req)
+	fmt.Printf("%-6s %-12s %-10s %-8s %s\n", "proto", "E* [J]", "L* [s]", "flags", "params")
+	for _, c := range comps {
+		if c.Err != nil {
+			fmt.Printf("%-6s infeasible: %v\n", c.Protocol, c.Err)
+			continue
+		}
+		flags := "-"
+		if c.Result.BudgetExceeded {
+			flags = "over-budget"
+		}
+		specs, _ := edmac.Params(c.Protocol, scenario())
+		fmt.Printf("%-6s %-12.5g %-10.4g %-8s %s\n", c.Protocol,
+			c.Result.Bargain.Energy, c.Result.Bargain.Delay, flags,
+			formatParams(c.Result.Bargain.Params, specs))
+	}
+	if best, ok := edmac.Best(comps); ok {
+		fmt.Printf("best: %s\n", best.Protocol)
+	} else {
+		fmt.Println("best: none meets the requirements outright")
+	}
+	return nil
+}
+
+func cmdFrontier(args []string) error {
+	fs := flag.NewFlagSet("frontier", flag.ContinueOnError)
+	protocol := fs.String("protocol", "xmac", "protocol")
+	budget := fs.Float64("budget", 0.06, "energy budget per window in joules")
+	deadline := fs.Float64("deadline", 6, "maximum end-to-end delay in seconds")
+	points := fs.Int("points", 25, "number of frontier samples")
+	scenario := scenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pts, err := edmac.Frontier(edmac.Protocol(*protocol), scenario(),
+		edmac.Requirements{EnergyBudget: *budget, MaxDelay: *deadline}, *points)
+	if err != nil {
+		return err
+	}
+	fmt.Println("energy_j,delay_s")
+	for _, p := range pts {
+		fmt.Printf("%.6g,%.6g\n", p.Energy, p.Delay)
+	}
+	return nil
+}
+
+func cmdParams(args []string) error {
+	fs := flag.NewFlagSet("params", flag.ContinueOnError)
+	protocol := fs.String("protocol", "xmac", "protocol")
+	scenario := scenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs, err := edmac.Params(edmac.Protocol(*protocol), scenario())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-6s %-12s %-12s\n", "name", "unit", "min", "max")
+	for _, sp := range specs {
+		fmt.Printf("%-18s %-6s %-12.5g %-12.5g\n", sp.Name, sp.Unit, sp.Min, sp.Max)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import "testing"
+
+func TestRunSubcommands(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr bool
+	}{
+		{name: "no args", args: nil, wantErr: true},
+		{name: "unknown", args: []string{"bogus"}, wantErr: true},
+		{name: "help", args: []string{"help"}},
+		{name: "optimize default", args: []string{"optimize"}},
+		{name: "optimize lmac relaxed tight budget", args: []string{"optimize", "-protocol", "lmac", "-budget", "0.01", "-relaxed"}},
+		{name: "optimize strict infeasible", args: []string{"optimize", "-protocol", "lmac", "-budget", "0.01"}, wantErr: true},
+		{name: "optimize unknown protocol", args: []string{"optimize", "-protocol", "smac"}, wantErr: true},
+		{name: "optimize bad radio", args: []string{"optimize", "-radio", "nrf24"}, wantErr: true},
+		{name: "compare", args: []string{"compare"}},
+		{name: "frontier", args: []string{"frontier", "-protocol", "dmac", "-points", "8"}},
+		{name: "frontier bad n", args: []string{"frontier", "-points", "1"}, wantErr: true},
+		{name: "params", args: []string{"params", "-protocol", "scpmac"}},
+		{name: "fig1 xmac no plot", args: []string{"fig1", "-protocol", "xmac", "-plot=false"}},
+		{name: "fig2 lmac no plot", args: []string{"fig2", "-protocol", "lmac", "-plot=false"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("run(%v) error = %v, wantErr %v", tt.args, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestASCIIScatter(t *testing.T) {
+	out := asciiScatter([]float64{0, 1, 2}, []float64{0, 1, 4}, []float64{1}, []float64{1}, 20, 8, "x", "y")
+	if len(out) == 0 {
+		t.Fatal("empty plot")
+	}
+	// Marked point must render as 'o'.
+	found := false
+	for _, ch := range out {
+		if ch == 'o' {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("marker missing from plot")
+	}
+	// Degenerate ranges must not panic.
+	_ = asciiScatter([]float64{1, 1}, []float64{2, 2}, nil, nil, 10, 4, "x", "y")
+	_ = asciiScatter(nil, nil, nil, nil, 10, 4, "x", "y")
+}
+
+func TestBoundsHelper(t *testing.T) {
+	lo, hi := bounds([]float64{3, -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Errorf("bounds = (%v, %v), want (-1, 7)", lo, hi)
+	}
+	lo, hi = bounds(nil)
+	if lo != 0 || hi != 1 {
+		t.Errorf("bounds(nil) = (%v, %v), want (0, 1)", lo, hi)
+	}
+}

@@ -1,0 +1,125 @@
+// Command edsim replays MAC protocol configurations in the packet-level
+// discrete-event simulator and cross-validates the analytic models.
+//
+// Usage:
+//
+//	edsim run      -protocol xmac -params 0.25 -duration 1800 -seed 1
+//	edsim validate -protocol lmac -params 15,0.05 -duration 1800
+//
+// Scenario flags (-depth, -density, -interval, -window, -payload,
+// -radio) are accepted by both subcommands.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (run, validate)")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "run":
+		return cmdRun(rest, false)
+	case "validate":
+		return cmdRun(rest, true)
+	case "help", "-h", "--help":
+		fmt.Println("subcommands: run, validate")
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func cmdRun(args []string, validate bool) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	protocol := fs.String("protocol", "xmac", "protocol (xmac, dmac, lmac)")
+	paramsArg := fs.String("params", "", "comma-separated protocol parameters (required)")
+	duration := fs.Float64("duration", 1800, "simulated seconds")
+	seed := fs.Int64("seed", 1, "random seed")
+	def := edmac.DefaultScenario()
+	depth := fs.Int("depth", def.Depth, "network depth D in hops")
+	density := fs.Int("density", def.Density, "unit-disk neighbourhood density C")
+	interval := fs.Float64("interval", 120, "seconds between samples per node")
+	window := fs.Float64("window", def.Window, "energy accounting window in seconds")
+	payload := fs.Int("payload", def.Payload, "application payload bytes")
+	radioName := fs.String("radio", def.Radio, "radio profile (cc2420, cc1101)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params, err := parseParams(*paramsArg)
+	if err != nil {
+		return err
+	}
+	scenario := edmac.Scenario{
+		Depth:          *depth,
+		Density:        *density,
+		SampleInterval: *interval,
+		Window:         *window,
+		Payload:        *payload,
+		Radio:          *radioName,
+	}
+	opts := edmac.SimOptions{Duration: *duration, Seed: *seed}
+
+	if validate {
+		rep, err := edmac.Validate(edmac.Protocol(*protocol), scenario, params, opts)
+		if err != nil {
+			return err
+		}
+		printSimReport(rep.SimReport)
+		fmt.Printf("\n%-26s %-14s %-14s %s\n", "metric", "analytic", "measured", "ratio")
+		fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "bottleneck energy [J/win]",
+			rep.AnalyticEnergy, rep.BottleneckEnergy, rep.EnergyRatio)
+		fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "outer-ring delay [s]",
+			rep.AnalyticDelay, rep.OuterRingDelay, rep.DelayRatio)
+		return nil
+	}
+
+	rep, err := edmac.Simulate(edmac.Protocol(*protocol), scenario, params, opts)
+	if err != nil {
+		return err
+	}
+	printSimReport(rep)
+	return nil
+}
+
+func printSimReport(rep edmac.SimReport) {
+	fmt.Printf("protocol          %s  params=%v\n", rep.Protocol, rep.Params)
+	fmt.Printf("network           %d nodes, %.0f simulated seconds\n", rep.Nodes, rep.Duration)
+	fmt.Printf("packets           generated=%d delivered=%d dropped=%d collisions=%d\n",
+		rep.Generated, rep.Delivered, rep.Dropped, rep.Collisions)
+	fmt.Printf("delivery ratio    %.4f\n", rep.DeliveryRatio)
+	fmt.Printf("delay [s]         mean=%.4g p95=%.4g max=%.4g outer-ring=%.4g\n",
+		rep.MeanDelay, rep.P95Delay, rep.MaxDelay, rep.OuterRingDelay)
+	fmt.Printf("bottleneck energy %.5g J/window\n", rep.BottleneckEnergy)
+}
+
+func parseParams(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-params is required (comma-separated, e.g. -params 0.25)")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestRunSubcommands(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr bool
+	}{
+		{name: "no args", args: nil, wantErr: true},
+		{name: "unknown", args: []string{"bogus"}, wantErr: true},
+		{name: "help", args: []string{"help"}},
+		{name: "missing params", args: []string{"run", "-protocol", "xmac"}, wantErr: true},
+		{name: "bad params", args: []string{"run", "-protocol", "xmac", "-params", "abc"}, wantErr: true},
+		{name: "wrong arity", args: []string{"run", "-protocol", "dmac", "-params", "1"}, wantErr: true},
+		{name: "scpmac rejected", args: []string{"run", "-protocol", "scpmac", "-params", "1"}, wantErr: true},
+		{
+			name: "short xmac run",
+			args: []string{"run", "-protocol", "xmac", "-params", "0.5", "-duration", "120", "-depth", "2", "-density", "2"},
+		},
+		{
+			name: "short lmac validation",
+			args: []string{"validate", "-protocol", "lmac", "-params", "9,0.02", "-duration", "240", "-depth", "2", "-density", "2"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("run(%v) error = %v, wantErr %v", tt.args, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	got, err := parseParams(" 1, 0.005 ")
+	if err != nil {
+		t.Fatalf("parseParams: %v", err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 0.005 {
+		t.Errorf("parseParams = %v", got)
+	}
+	if _, err := parseParams(""); err == nil {
+		t.Error("empty params accepted")
+	}
+	if _, err := parseParams("1,,2"); err == nil {
+		t.Error("blank entry accepted")
+	}
+}

@@ -1,0 +1,210 @@
+package edmac_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+func TestOptimizeXMACPaperRequirements(t *testing.T) {
+	res, err := edmac.Optimize(edmac.XMAC, edmac.DefaultScenario(), edmac.PaperRequirements())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Protocol != edmac.XMAC {
+		t.Errorf("protocol = %v", res.Protocol)
+	}
+	if len(res.Bargain.Params) != 1 {
+		t.Fatalf("xmac bargain params = %v, want 1 value", res.Bargain.Params)
+	}
+	if res.Bargain.Energy > 0.06+1e-9 || res.Bargain.Delay > 6+1e-9 {
+		t.Errorf("bargain (%v J, %v s) violates requirements", res.Bargain.Energy, res.Bargain.Delay)
+	}
+	if res.BudgetExceeded || res.Degenerate {
+		t.Errorf("unexpected flags: exceeded=%v degenerate=%v", res.BudgetExceeded, res.Degenerate)
+	}
+	// The bargain interpolates between the two optima.
+	if res.Bargain.Energy < res.EnergyOptimal.Energy-1e-9 {
+		t.Error("bargain beats the energy optimum")
+	}
+	if res.Bargain.Delay < res.DelayOptimal.Delay-1e-9 {
+		t.Error("bargain beats the delay optimum")
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	_, err := edmac.Optimize(edmac.XMAC, edmac.DefaultScenario(),
+		edmac.Requirements{EnergyBudget: 1e-9, MaxDelay: 1e-3})
+	if !errors.Is(err, edmac.ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestProtocolRegistryInSync guards against drift between the facade's
+// protocol list and the internal model registry.
+func TestProtocolRegistryInSync(t *testing.T) {
+	for _, p := range edmac.Protocols() {
+		if _, err := edmac.Params(p, edmac.DefaultScenario()); err != nil {
+			t.Errorf("protocol %s not constructible: %v", p, err)
+		}
+	}
+}
+
+func TestOptimizeAllProtocols(t *testing.T) {
+	for _, p := range edmac.Protocols() {
+		res, err := edmac.Optimize(p, edmac.DefaultScenario(),
+			edmac.Requirements{EnergyBudget: 2, MaxDelay: 6})
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		specs, err := edmac.Params(p, edmac.DefaultScenario())
+		if err != nil {
+			t.Fatalf("%s: Params: %v", p, err)
+		}
+		if len(res.Bargain.Params) != len(specs) {
+			t.Errorf("%s: %d params vs %d specs", p, len(res.Bargain.Params), len(specs))
+		}
+		for i, v := range res.Bargain.Params {
+			if v < specs[i].Min-1e-9 || v > specs[i].Max+1e-9 {
+				t.Errorf("%s: param %s = %v outside [%v, %v]",
+					p, specs[i].Name, v, specs[i].Min, specs[i].Max)
+			}
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := edmac.DefaultScenario()
+	bad.Radio = "nrf24"
+	if _, err := edmac.Optimize(edmac.XMAC, bad, edmac.PaperRequirements()); err == nil {
+		t.Error("unknown radio accepted")
+	}
+	bad = edmac.DefaultScenario()
+	bad.SampleInterval = 0
+	if _, err := edmac.Optimize(edmac.XMAC, bad, edmac.PaperRequirements()); err == nil {
+		t.Error("zero sample interval accepted")
+	}
+	bad = edmac.DefaultScenario()
+	bad.Depth = 0
+	if _, err := edmac.Optimize(edmac.XMAC, bad, edmac.PaperRequirements()); err == nil {
+		t.Error("zero depth accepted")
+	}
+}
+
+func TestFrontierMonotone(t *testing.T) {
+	pts, err := edmac.Frontier(edmac.XMAC, edmac.DefaultScenario(), edmac.PaperRequirements(), 10)
+	if err != nil {
+		t.Fatalf("Frontier: %v", err)
+	}
+	if len(pts) < 5 {
+		t.Fatalf("frontier too sparse: %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Delay < pts[i-1].Delay-1e-9 {
+			t.Error("frontier not sorted by delay")
+		}
+		if pts[i].Energy > pts[i-1].Energy+1e-9 {
+			t.Error("frontier energy not non-increasing")
+		}
+	}
+}
+
+func TestCompareAndBest(t *testing.T) {
+	comps := edmac.Compare(edmac.DefaultScenario(), edmac.PaperRequirements())
+	if len(comps) != 3 {
+		t.Fatalf("Compare returned %d entries", len(comps))
+	}
+	best, ok := edmac.Best(comps)
+	if !ok {
+		t.Fatal("no feasible protocol under the paper requirements")
+	}
+	if best.Protocol != edmac.XMAC {
+		t.Errorf("best protocol = %v, want xmac (lowest-energy bargain)", best.Protocol)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	s := edmac.DefaultScenario()
+	e, l, err := edmac.Evaluate(edmac.XMAC, s, []float64{0.5})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if e <= 0 || l <= 0 {
+		t.Errorf("Evaluate = (%v, %v), want positive metrics", e, l)
+	}
+	if _, _, err := edmac.Evaluate(edmac.XMAC, s, []float64{0.5, 1}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, _, err := edmac.Evaluate(edmac.XMAC, s, []float64{99}); err == nil {
+		t.Error("out-of-box parameters accepted")
+	}
+}
+
+func TestOptimizeRelaxedFlagsBestEffort(t *testing.T) {
+	// LMAC at (0.01 J, 6 s) is jointly unattainable; the relaxed call
+	// must return a flagged best-effort point, the strict call must fail.
+	s := edmac.DefaultScenario()
+	r := edmac.Requirements{EnergyBudget: 0.01, MaxDelay: 6}
+	if _, err := edmac.Optimize(edmac.LMAC, s, r); !errors.Is(err, edmac.ErrInfeasible) {
+		t.Fatalf("strict error = %v, want ErrInfeasible", err)
+	}
+	res, err := edmac.OptimizeRelaxed(edmac.LMAC, s, r)
+	if err != nil {
+		t.Fatalf("relaxed: %v", err)
+	}
+	if !res.BudgetExceeded {
+		t.Error("BudgetExceeded not set")
+	}
+	if res.Bargain.Delay > 6+1e-9 {
+		t.Errorf("best-effort point must honour MaxDelay, got %v s", res.Bargain.Delay)
+	}
+}
+
+func TestSimulateQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	s := edmac.DefaultScenario()
+	s.Depth = 3
+	s.Density = 3
+	s.SampleInterval = 120
+	rep, err := edmac.Simulate(edmac.XMAC, s, []float64{0.25}, edmac.SimOptions{Duration: 600, Seed: 1})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if rep.Generated == 0 || rep.DeliveryRatio < 0.8 {
+		t.Errorf("delivery %v of %d packets", rep.DeliveryRatio, rep.Generated)
+	}
+	if rep.BottleneckEnergy <= 0 {
+		t.Error("no energy measured")
+	}
+}
+
+func TestSimulateRejectsSCPMAC(t *testing.T) {
+	if _, err := edmac.Simulate(edmac.SCPMAC, edmac.DefaultScenario(), []float64{0.5}, edmac.SimOptions{}); err == nil {
+		t.Error("scpmac simulation accepted")
+	}
+}
+
+func TestValidateFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	s := edmac.DefaultScenario()
+	s.Depth = 3
+	s.Density = 3
+	s.SampleInterval = 120
+	rep, err := edmac.Validate(edmac.XMAC, s, []float64{0.25}, edmac.SimOptions{Duration: 900, Seed: 2})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if math.IsNaN(rep.EnergyRatio) || rep.EnergyRatio < 0.3 || rep.EnergyRatio > 3 {
+		t.Errorf("energy ratio %v implausible", rep.EnergyRatio)
+	}
+	if math.IsNaN(rep.DelayRatio) || rep.DelayRatio < 0.3 || rep.DelayRatio > 3 {
+		t.Errorf("delay ratio %v implausible", rep.DelayRatio)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: optimize one protocol for an application's energy budget
+// and delay bound, and read back the MAC parameters to deploy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+func main() {
+	// The deployment: a depth-5 CC2420 sensor network sampling once per
+	// 10 hours (the calibrated default of the paper reproduction).
+	scenario := edmac.DefaultScenario()
+
+	// The application requires at most 0.06 J per minute at the
+	// bottleneck node and end-to-end delivery within 6 seconds — the
+	// paper's headline requirement pair.
+	req := edmac.PaperRequirements()
+
+	res, err := edmac.Optimize(edmac.XMAC, scenario, req)
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+
+	specs, err := edmac.Params(edmac.XMAC, scenario)
+	if err != nil {
+		log.Fatalf("params: %v", err)
+	}
+
+	fmt.Println("X-MAC energy-delay game under (0.06 J, 6 s):")
+	fmt.Printf("  energy player's optimum : E=%.4g J  L=%.3g s\n",
+		res.EnergyOptimal.Energy, res.EnergyOptimal.Delay)
+	fmt.Printf("  delay player's optimum  : E=%.4g J  L=%.3g s\n",
+		res.DelayOptimal.Energy, res.DelayOptimal.Delay)
+	fmt.Printf("  threat point            : E=%.4g J  L=%.3g s\n",
+		res.WorstEnergy, res.WorstDelay)
+	fmt.Printf("  Nash bargain (deploy!)  : E=%.4g J  L=%.3g s\n",
+		res.Bargain.Energy, res.Bargain.Delay)
+	for i, sp := range specs {
+		fmt.Printf("      %s = %.4g %s\n", sp.Name, res.Bargain.Params[i], sp.Unit)
+	}
+	fmt.Printf("  proportional fairness   : energy %.2f, delay %.2f\n",
+		res.FairnessEnergy, res.FairnessDelay)
+
+	// What-if: how much energy does halving the bargained wakeup
+	// interval cost, and what does it buy in latency?
+	half := []float64{res.Bargain.Params[0] / 2}
+	e, l, err := edmac.Evaluate(edmac.XMAC, scenario, half)
+	if err != nil {
+		log.Fatalf("evaluate: %v", err)
+	}
+	fmt.Printf("\nWhat-if (half the wakeup interval): E=%.4g J (+%.0f%%), L=%.3g s (%.0f%%)\n",
+		e, 100*(e/res.Bargain.Energy-1), l, 100*l/res.Bargain.Delay)
+}

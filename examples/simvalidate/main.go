@@ -1,0 +1,67 @@
+// Simvalidate: replay analytically optimized configurations in the
+// packet-level simulator and report measured-vs-predicted energy and
+// delay — the repo's evidence that the closed-form models stand on
+// something.
+//
+//	go run ./examples/simvalidate
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+// paramString renders a parameter vector compactly, e.g. "1, 0.005".
+func paramString(params []float64) string {
+	parts := make([]string, len(params))
+	for i, v := range params {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func main() {
+	// A small, busy scenario so half an hour of simulated time carries
+	// statistics: depth 3, density 4, one sample per node per 2 minutes.
+	scenario := edmac.Scenario{
+		Depth:          3,
+		Density:        4,
+		SampleInterval: 120,
+		Window:         60,
+		Payload:        32,
+		Radio:          "cc2420",
+	}
+
+	configs := []struct {
+		protocol edmac.Protocol
+		params   []float64
+		interval float64 // per-protocol stable sampling regime
+	}{
+		{edmac.XMAC, []float64{0.25}, 120},
+		{edmac.DMAC, []float64{1.0, 0.005}, 600},
+		{edmac.LMAC, []float64{13, 0.02}, 120},
+	}
+
+	fmt.Println("Packet-level validation of the analytic models (1800 s runs):")
+	fmt.Printf("%-6s %-22s %-24s %-24s %s\n",
+		"proto", "params", "energy J/win (sim/model)", "delay s (sim/model)", "delivery")
+	for _, cfg := range configs {
+		sc := scenario
+		sc.SampleInterval = cfg.interval
+		rep, err := edmac.Validate(cfg.protocol, sc, cfg.params,
+			edmac.SimOptions{Duration: 1800, Seed: 7})
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.protocol, err)
+		}
+		fmt.Printf("%-6s %-22s %-24s %-24s %.3f\n",
+			cfg.protocol, paramString(cfg.params),
+			fmt.Sprintf("%.4g / %.4g (x%.2f)", rep.BottleneckEnergy, rep.AnalyticEnergy, rep.EnergyRatio),
+			fmt.Sprintf("%.4g / %.4g (x%.2f)", rep.OuterRingDelay, rep.AnalyticDelay, rep.DelayRatio),
+			rep.DeliveryRatio)
+	}
+	fmt.Println("\nRatios near 1.00 mean the closed-form model matches the measured system;")
+	fmt.Println("the models are collision-free and ring-averaged, so a ±2.5x band is the target.")
+}

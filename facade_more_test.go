@@ -1,0 +1,147 @@
+package edmac_test
+
+import (
+	"math"
+	"testing"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+func TestFrontierErrorPaths(t *testing.T) {
+	s := edmac.DefaultScenario()
+	if _, err := edmac.Frontier(edmac.Protocol("smac"), s, edmac.PaperRequirements(), 10); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := edmac.Frontier(edmac.XMAC, s, edmac.Requirements{}, 10); err == nil {
+		t.Error("zero requirements accepted")
+	}
+	if _, err := edmac.Frontier(edmac.XMAC, s, edmac.PaperRequirements(), 1); err == nil {
+		t.Error("single-point frontier accepted")
+	}
+}
+
+func TestParamsErrorPaths(t *testing.T) {
+	if _, err := edmac.Params(edmac.Protocol("smac"), edmac.DefaultScenario()); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	bad := edmac.DefaultScenario()
+	bad.Payload = 0
+	if _, err := edmac.Params(edmac.XMAC, bad); err == nil {
+		t.Error("zero payload accepted")
+	}
+}
+
+func TestCompareWithBrokenScenario(t *testing.T) {
+	bad := edmac.DefaultScenario()
+	bad.Radio = "nope"
+	comps := edmac.Compare(bad, edmac.PaperRequirements())
+	if len(comps) != 3 {
+		t.Fatalf("Compare returned %d entries", len(comps))
+	}
+	for _, c := range comps {
+		if c.Err == nil {
+			t.Errorf("%s: broken scenario produced no error", c.Protocol)
+		}
+	}
+	if _, ok := edmac.Best(comps); ok {
+		t.Error("Best found a winner among all-failed comparisons")
+	}
+}
+
+func TestResultParamsAreCopies(t *testing.T) {
+	res, err := edmac.Optimize(edmac.XMAC, edmac.DefaultScenario(), edmac.PaperRequirements())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	orig := res.Bargain.Params[0]
+	res.Bargain.Params[0] = 999
+	res2, err := edmac.Optimize(edmac.XMAC, edmac.DefaultScenario(), edmac.PaperRequirements())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res2.Bargain.Params[0] != orig {
+		t.Error("mutating a result leaked into a later optimization")
+	}
+}
+
+func TestEvaluateSCPMAC(t *testing.T) {
+	s := edmac.DefaultScenario()
+	e, l, err := edmac.Evaluate(edmac.SCPMAC, s, []float64{1.0})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// Synchronized polling at a 1 s period: sub-millijoule-per-second
+	// power and a few seconds of delay.
+	if e <= 0 || e > 0.1 {
+		t.Errorf("scpmac energy %v J implausible", e)
+	}
+	if l < 2 || l > 4 {
+		t.Errorf("scpmac delay %v s implausible for a 1 s period over 5 hops", l)
+	}
+}
+
+func TestSimulateErrorPaths(t *testing.T) {
+	s := edmac.DefaultScenario()
+	if _, err := edmac.Simulate(edmac.XMAC, s, []float64{0.2, 0.3}, edmac.SimOptions{Duration: 10}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	bad := s
+	bad.Depth = 0
+	if _, err := edmac.Simulate(edmac.XMAC, bad, []float64{0.2}, edmac.SimOptions{Duration: 10}); err == nil {
+		t.Error("broken scenario accepted")
+	}
+	if _, err := edmac.Simulate(edmac.Protocol("smac"), s, []float64{0.2}, edmac.SimOptions{Duration: 10}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestValidateOutOfBoxParamsFallBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	s := edmac.DefaultScenario()
+	s.Depth = 2
+	s.Density = 2
+	s.SampleInterval = 300
+	// Tw = 8 s sits outside the model's admissible box [0.064, 5]; the
+	// validation must still evaluate the raw model rather than fail.
+	rep, err := edmac.Validate(edmac.XMAC, s, []float64{8}, edmac.SimOptions{Duration: 300, Seed: 3})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if rep.AnalyticEnergy <= 0 || math.IsNaN(rep.AnalyticEnergy) {
+		t.Errorf("analytic energy %v unusable", rep.AnalyticEnergy)
+	}
+}
+
+func TestBMACSimulatesViaFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	s := edmac.DefaultScenario()
+	s.Depth = 2
+	s.Density = 2
+	s.SampleInterval = 60
+	rep, err := edmac.Simulate(edmac.BMAC, s, []float64{0.2}, edmac.SimOptions{Duration: 600, Seed: 4})
+	if err != nil {
+		t.Fatalf("Simulate(bmac): %v", err)
+	}
+	if rep.DeliveryRatio < 0.8 {
+		t.Errorf("bmac delivery %v below 0.8 (collisions %d)", rep.DeliveryRatio, rep.Collisions)
+	}
+}
+
+func TestPaperProtocolsSubset(t *testing.T) {
+	all := map[edmac.Protocol]bool{}
+	for _, p := range edmac.Protocols() {
+		all[p] = true
+	}
+	for _, p := range edmac.PaperProtocols() {
+		if !all[p] {
+			t.Errorf("paper protocol %s missing from Protocols()", p)
+		}
+	}
+	if len(edmac.PaperProtocols()) != 3 {
+		t.Errorf("paper evaluates 3 protocols, got %d", len(edmac.PaperProtocols()))
+	}
+}

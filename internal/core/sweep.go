@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/edmac-project/edmac/internal/macmodel"
+	"github.com/edmac-project/edmac/internal/nbs"
+)
+
+// SweepPoint is one cell of a requirement sweep. Err is non-nil (wrapping
+// nbs.ErrInfeasible) for requirement combinations the protocol cannot
+// satisfy; such cells are part of the result because the figures must
+// report them.
+type SweepPoint struct {
+	Requirements Requirements
+	Tradeoff     Tradeoff
+	Err          error
+}
+
+// Infeasible reports whether the cell failed due to infeasibility (as
+// opposed to being solved).
+func (s SweepPoint) Infeasible() bool {
+	return s.Err != nil && errors.Is(s.Err, nbs.ErrInfeasible)
+}
+
+// SweepMaxDelay reproduces the paper's Figure 1 series for one protocol:
+// the energy budget is fixed and the delay bound Lmax takes each value in
+// delays, yielding one bargained trade-off point per bound. Cells whose
+// joint requirements are unattainable carry the best-effort point with
+// Tradeoff.BudgetExceeded set (relaxed mode), matching the over-budget
+// points visible in the paper's LMAC subplots.
+func SweepMaxDelay(m macmodel.Model, energyBudget float64, delays []float64) []SweepPoint {
+	points := make([]SweepPoint, 0, len(delays))
+	for _, lmax := range delays {
+		req := Requirements{EnergyBudget: energyBudget, MaxDelay: lmax}
+		tr, err := OptimizeRelaxed(m, req)
+		points = append(points, SweepPoint{Requirements: req, Tradeoff: tr, Err: err})
+	}
+	return points
+}
+
+// SweepEnergyBudget reproduces the paper's Figure 2 series for one
+// protocol: the delay bound is fixed and the energy budget takes each
+// value in budgets. Unattainable cells behave as in SweepMaxDelay.
+func SweepEnergyBudget(m macmodel.Model, maxDelay float64, budgets []float64) []SweepPoint {
+	points := make([]SweepPoint, 0, len(budgets))
+	for _, budget := range budgets {
+		req := Requirements{EnergyBudget: budget, MaxDelay: maxDelay}
+		tr, err := OptimizeRelaxed(m, req)
+		points = append(points, SweepPoint{Requirements: req, Tradeoff: tr, Err: err})
+	}
+	return points
+}
+
+// PaperDelays returns the Lmax sweep of the paper's Figure 1: 1..6 s.
+func PaperDelays() []float64 { return []float64{1, 2, 3, 4, 5, 6} }
+
+// PaperBudgets returns the Ebudget sweep of the paper's Figure 2:
+// 0.01..0.06 J.
+func PaperBudgets() []float64 { return []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06} }
+
+// PaperEnergyBudget is the fixed budget of Figure 1 (0.06 J).
+const PaperEnergyBudget = 0.06
+
+// PaperMaxDelay is the fixed delay bound of Figure 2 (6 s).
+const PaperMaxDelay = 6.0

@@ -1,0 +1,131 @@
+package macmodel
+
+import (
+	"fmt"
+
+	"github.com/edmac-project/edmac/internal/opt"
+	"github.com/edmac-project/edmac/internal/traffic"
+)
+
+// B-MAC wakeup-interval bounds in seconds.
+const (
+	bmacTwMin = 0.01
+	bmacTwMax = 2.0
+)
+
+// BMAC is the analytic model of classic low-power-listening (B-MAC,
+// Polastre et al.): senders transmit one full-length, address-free
+// preamble spanning the whole check interval before each data frame.
+//
+// It is not part of the paper's evaluation; it extends the framework to
+// a fourth protocol and anchors the ablation benchmarks — its address-
+// free preamble makes both transmission and overhearing dramatically
+// more expensive than X-MAC's strobes, which is visible straight from
+// the component decomposition.
+//
+// Parameter vector: X = (Tw), the wakeup (channel-check) interval.
+type BMAC struct {
+	env   Env
+	flows traffic.RingFlows
+
+	tData float64
+	tPoll float64
+}
+
+var _ Model = (*BMAC)(nil)
+
+// NewBMAC builds the B-MAC model for env.
+func NewBMAC(env Env) (*BMAC, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	m := &BMAC{
+		env:   env,
+		flows: env.Flows(),
+		tData: env.DataAirtime(),
+		tPoll: env.Radio.Startup + 2*env.Radio.CCA,
+	}
+	if err := validateSpecs(m.Name(), m.Params()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *BMAC) Name() string { return "bmac" }
+
+// Env implements Model.
+func (m *BMAC) Env() Env { return m.env }
+
+// Params implements Model.
+func (m *BMAC) Params() []ParamSpec {
+	return []ParamSpec{{Name: "wakeup-interval", Unit: "s", Min: bmacTwMin, Max: bmacTwMax}}
+}
+
+// Bounds implements Model.
+func (m *BMAC) Bounds() opt.Bounds { return boundsOf(m.Params()) }
+
+// Structural implements Model.
+func (m *BMAC) Structural() []opt.Constraint {
+	return []opt.Constraint{{
+		Name: "bmac-unsaturated",
+		F: func(x opt.Vector) float64 {
+			tw := x[0]
+			return m.flows.Out(1)*(tw+m.tData) - 0.5
+		},
+	}}
+}
+
+// EnergyAt implements Model.
+func (m *BMAC) EnergyAt(x opt.Vector, ring int) Components {
+	tw := x[0]
+	r := m.env.Radio
+	w := m.env.Window
+	fout := m.flows.Out(ring)
+	fin := m.flows.In(ring)
+	fb := m.flows.Background(ring)
+
+	csTime := w / tw * m.tPoll
+	cs := csTime * r.PowerListen
+
+	// The preamble must span a full check interval to guarantee capture.
+	txTimePerPkt := tw + m.tData
+	tx := w * fout * txTimePerPkt * r.PowerTx
+
+	// The receiver catches the preamble half-way on average and must hang
+	// on until the data arrives — and so does every overhearer, because
+	// the preamble carries no address.
+	rxTimePerPkt := tw/2 + m.tData
+	rx := w * fin * rxTimePerPkt * r.PowerRx
+	ovrTime := w * fb * rxTimePerPkt
+	ovr := ovrTime * r.PowerRx
+
+	awake := csTime + w*fout*txTimePerPkt + w*fin*rxTimePerPkt + ovrTime
+	sleepTime := w - awake
+	if sleepTime < 0 {
+		sleepTime = 0
+	}
+	return Components{
+		CarrierSense: cs,
+		Tx:           tx,
+		Rx:           rx,
+		Overhear:     ovr,
+		Sleep:        sleepTime * r.PowerSleep,
+	}
+}
+
+// Energy implements Model.
+func (m *BMAC) Energy(x opt.Vector) float64 {
+	return m.EnergyAt(x, m.flows.Bottleneck()).Total()
+}
+
+// Delay implements Model: every hop pays the full preamble plus data.
+func (m *BMAC) Delay(x opt.Vector) float64 {
+	tw := x[0]
+	return float64(m.env.Rings.Depth) * (tw + m.tData)
+}
+
+// String returns a short human-readable description.
+func (m *BMAC) String() string {
+	return fmt.Sprintf("bmac(D=%d,C=%d)", m.env.Rings.Depth, m.env.Rings.Density)
+}

@@ -1,0 +1,210 @@
+package macmodel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/edmac-project/edmac/internal/opt"
+)
+
+// allModels builds every protocol model against the default environment.
+func allModels(t *testing.T) []Model {
+	t.Helper()
+	var models []Model
+	for _, name := range Names() {
+		m, err := New(name, Default())
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		models = append(models, m)
+	}
+	return models
+}
+
+// randomPoint samples a uniform point inside the model's bounds.
+func randomPoint(m Model, rng *rand.Rand) opt.Vector {
+	b := m.Bounds()
+	x := make(opt.Vector, b.Dim())
+	for i := range x {
+		x[i] = b.Lo[i] + rng.Float64()*(b.Hi[i]-b.Lo[i])
+	}
+	return x
+}
+
+func TestNewUnknownProtocol(t *testing.T) {
+	if _, err := New("smac", Default()); err == nil {
+		t.Error("New(smac) should fail")
+	}
+}
+
+func TestNewRejectsBadEnv(t *testing.T) {
+	bad := Default()
+	bad.SampleRate = 0
+	for _, name := range Names() {
+		if _, err := New(name, bad); err == nil {
+			t.Errorf("New(%q) accepted invalid env", name)
+		}
+	}
+}
+
+func TestModelMetadata(t *testing.T) {
+	for _, m := range allModels(t) {
+		specs := m.Params()
+		b := m.Bounds()
+		if len(specs) != b.Dim() {
+			t.Errorf("%s: %d params but %d-dimensional bounds", m.Name(), len(specs), b.Dim())
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: bounds invalid: %v", m.Name(), err)
+		}
+		for i, s := range specs {
+			if s.Min != b.Lo[i] || s.Max != b.Hi[i] {
+				t.Errorf("%s param %d: spec range [%v,%v] != bounds [%v,%v]",
+					m.Name(), i, s.Min, s.Max, b.Lo[i], b.Hi[i])
+			}
+			if s.Name == "" || s.Unit == "" {
+				t.Errorf("%s param %d: missing name or unit", m.Name(), i)
+			}
+		}
+		registered := false
+		for _, n := range Names() {
+			if n == m.Name() {
+				registered = true
+			}
+		}
+		if !registered {
+			t.Errorf("%s: not in Names()", m.Name())
+		}
+	}
+}
+
+func TestComponentsNonNegativeAndSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range allModels(t) {
+		depth := m.Env().Rings.Depth
+		for trial := 0; trial < 200; trial++ {
+			x := randomPoint(m, rng)
+			for d := 1; d <= depth; d++ {
+				c := m.EnergyAt(x, d)
+				for name, v := range map[string]float64{
+					"cs": c.CarrierSense, "tx": c.Tx, "rx": c.Rx,
+					"ovr": c.Overhear, "stx": c.SyncTx, "srx": c.SyncRx, "sleep": c.Sleep,
+				} {
+					if v < 0 || math.IsNaN(v) {
+						t.Fatalf("%s at %v ring %d: component %s = %v", m.Name(), x, d, name, v)
+					}
+				}
+				sum := c.CarrierSense + c.Tx + c.Rx + c.Overhear + c.SyncTx + c.SyncRx + c.Sleep
+				if math.Abs(sum-c.Total()) > 1e-15*math.Max(1, sum) {
+					t.Fatalf("%s: Total() = %v != component sum %v", m.Name(), c.Total(), sum)
+				}
+				if c.Active() > c.Total() {
+					t.Fatalf("%s: Active() %v exceeds Total() %v", m.Name(), c.Active(), c.Total())
+				}
+			}
+		}
+	}
+}
+
+func TestEnergyIsBottleneckRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, m := range allModels(t) {
+		for trial := 0; trial < 50; trial++ {
+			x := randomPoint(m, rng)
+			if got, want := m.Energy(x), m.EnergyAt(x, 1).Total(); got != want {
+				t.Fatalf("%s: Energy(%v) = %v, want ring-1 total %v", m.Name(), x, got, want)
+			}
+			// Ring 1 carries the most traffic, so it must dominate.
+			for d := 2; d <= m.Env().Rings.Depth; d++ {
+				if outer := m.EnergyAt(x, d).Total(); outer > m.Energy(x)+1e-12 {
+					t.Fatalf("%s: ring-%d energy %v exceeds ring-1 energy %v", m.Name(), d, outer, m.Energy(x))
+				}
+			}
+		}
+	}
+}
+
+func TestDelayPositiveAndFiniteEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range allModels(t) {
+		for trial := 0; trial < 200; trial++ {
+			x := randomPoint(m, rng)
+			l := m.Delay(x)
+			if l <= 0 || math.IsInf(l, 0) || math.IsNaN(l) {
+				t.Fatalf("%s: Delay(%v) = %v", m.Name(), x, l)
+			}
+		}
+	}
+}
+
+// TestEnergyDelayConflict verifies the premise of the whole game: within
+// each protocol there exist two configurations where one has lower
+// energy and the other lower delay — the objectives genuinely conflict.
+func TestEnergyDelayConflict(t *testing.T) {
+	for _, m := range allModels(t) {
+		b := m.Bounds()
+		fast := b.Lo.Clone() // every parameter at its minimum: fastest
+		slow := b.Hi.Clone()
+		eFast, lFast := m.Energy(fast), m.Delay(fast)
+		eSlow, lSlow := m.Energy(slow), m.Delay(slow)
+		if !(lFast < lSlow) {
+			t.Errorf("%s: delay should grow with the duty-cycle levers: fast %v, slow %v", m.Name(), lFast, lSlow)
+		}
+		if !(eSlow < eFast) {
+			t.Errorf("%s: the slow configuration should save energy: fast %v J, slow %v J", m.Name(), eFast, eSlow)
+		}
+	}
+}
+
+// TestProtocolEnergyOrdering checks the paper's figure-range ordering at
+// the fastest (delay-optimal corner) configuration: X-MAC < DMAC < LMAC.
+func TestProtocolEnergyOrdering(t *testing.T) {
+	byName := map[string]Model{}
+	for _, m := range allModels(t) {
+		byName[m.Name()] = m
+	}
+	e := func(name string) float64 {
+		m := byName[name]
+		return m.Energy(m.Bounds().Lo)
+	}
+	if !(e("xmac") < e("dmac") && e("dmac") < e("lmac")) {
+		t.Errorf("energy ordering violated at fastest configs: xmac=%v dmac=%v lmac=%v",
+			e("xmac"), e("dmac"), e("lmac"))
+	}
+}
+
+func TestStructuralConstraintsSatisfiableInBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, m := range allModels(t) {
+		found := false
+		for trial := 0; trial < 500 && !found; trial++ {
+			x := randomPoint(m, rng)
+			ok := true
+			for _, c := range m.Structural() {
+				if c.F(x) > 0 {
+					ok = false
+					break
+				}
+			}
+			found = ok
+		}
+		if !found {
+			t.Errorf("%s: no structurally feasible point found in 500 samples", m.Name())
+		}
+	}
+}
+
+func TestModelsAreStringers(t *testing.T) {
+	for _, m := range allModels(t) {
+		s, ok := m.(interface{ String() string })
+		if !ok {
+			t.Errorf("%s: model does not implement String()", m.Name())
+			continue
+		}
+		if !strings.Contains(s.String(), m.Name()) {
+			t.Errorf("String() = %q does not mention protocol %q", s.String(), m.Name())
+		}
+	}
+}

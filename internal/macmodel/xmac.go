@@ -1,0 +1,156 @@
+package macmodel
+
+import (
+	"fmt"
+
+	"github.com/edmac-project/edmac/internal/opt"
+	"github.com/edmac-project/edmac/internal/traffic"
+)
+
+// X-MAC wakeup-interval bounds in seconds. The lower bound is the
+// shortest check interval the poll cost amortizes over sensibly (and the
+// knob below which the delay-optimal configuration saturates); the upper
+// bound keeps per-hop latency within the paper's figure range.
+const (
+	xmacTwMin = 0.064
+	xmacTwMax = 5.0
+)
+
+// XMAC is the analytic model of X-MAC (Buettner et al., SenSys 2006):
+// asynchronous preamble sampling with strobed preambles and early ACK.
+//
+// Parameter vector: X = (Tw), the wakeup (channel-check) interval.
+// Receivers briefly poll the channel every Tw; a sender strobes short
+// address-carrying preambles for Tw/2 on average until the target wakes,
+// ACKs, and receives the data frame. Strobed preambles make overhearing
+// cheap: third parties decode one strobe and go back to sleep.
+type XMAC struct {
+	env   Env
+	flows traffic.RingFlows
+
+	tData   float64 // data frame airtime
+	tAck    float64 // ACK airtime
+	tStrobe float64 // one strobe airtime
+	tGap    float64 // inter-strobe gap (early-ACK listening window)
+	tPeriod float64 // strobe period: strobe + gap
+	tPoll   float64 // receiver poll duration: startup + 2 CCA
+	tShake  float64 // post-wakeup handshake: strobe + ACK + data + turnarounds
+}
+
+var _ Model = (*XMAC)(nil)
+
+// NewXMAC builds the X-MAC model for env.
+func NewXMAC(env Env) (*XMAC, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	r := env.Radio
+	m := &XMAC{
+		env:     env,
+		flows:   env.Flows(),
+		tData:   env.DataAirtime(),
+		tAck:    env.AckAirtime(),
+		tStrobe: env.StrobeAirtime(),
+		tGap:    env.AckAirtime() + 2*r.Turnaround,
+	}
+	m.tPeriod = m.tStrobe + m.tGap
+	m.tPoll = r.Startup + 2*r.CCA
+	m.tShake = m.tStrobe + r.Turnaround + m.tAck + r.Turnaround + m.tData
+	if err := validateSpecs(m.Name(), m.Params()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *XMAC) Name() string { return "xmac" }
+
+// Env implements Model.
+func (m *XMAC) Env() Env { return m.env }
+
+// Params implements Model.
+func (m *XMAC) Params() []ParamSpec {
+	return []ParamSpec{{Name: "wakeup-interval", Unit: "s", Min: xmacTwMin, Max: xmacTwMax}}
+}
+
+// Bounds implements Model.
+func (m *XMAC) Bounds() opt.Bounds { return boundsOf(m.Params()) }
+
+// Structural implements Model: the bottleneck node must stay unsaturated
+// — the time it spends strobing and forwarding must remain below half
+// the window, or the low-rate queueing assumptions collapse.
+func (m *XMAC) Structural() []opt.Constraint {
+	return []opt.Constraint{{
+		Name: "xmac-unsaturated",
+		F: func(x opt.Vector) float64 {
+			return m.utilization(x) - 0.5
+		},
+	}}
+}
+
+// utilization returns the busy fraction of the bottleneck node.
+func (m *XMAC) utilization(x opt.Vector) float64 {
+	tw := x[0]
+	perPacket := tw/2 + m.tShake
+	return m.flows.Out(1)*perPacket + m.flows.In(1)*m.tShake
+}
+
+// EnergyAt implements Model.
+func (m *XMAC) EnergyAt(x opt.Vector, ring int) Components {
+	tw := x[0]
+	r := m.env.Radio
+	w := m.env.Window
+	fout := m.flows.Out(ring)
+	fin := m.flows.In(ring)
+	fb := m.flows.Background(ring)
+
+	// Periodic channel polls: startup plus two CCAs per check.
+	csTime := w / tw * m.tPoll
+	cs := csTime * r.PowerListen
+
+	// Transmit: strobe for Tw/2 on average (transmitting a strobe, then
+	// listening in the gap for the early ACK), then the data exchange.
+	strobeDuty := m.tStrobe / m.tPeriod
+	strobePower := strobeDuty*r.PowerTx + (1-strobeDuty)*r.PowerListen
+	txTimePerPkt := tw/2 + m.tData + m.tAck
+	tx := w * fout * (tw/2*strobePower + m.tData*r.PowerTx + m.tAck*r.PowerRx)
+
+	// Receive: after its poll catches a strobe, the node hears the rest
+	// of the strobe period, sends the early ACK, and receives the data.
+	rxTimePerPkt := m.tPeriod/2 + m.tStrobe + m.tAck + m.tData
+	rx := w * fin * (m.tPeriod/2*r.PowerListen + m.tStrobe*r.PowerRx + m.tAck*r.PowerTx + m.tData*r.PowerRx)
+
+	// Overhear: one strobe header identifies a foreign target.
+	ovrTime := w * fb * m.tStrobe
+	ovr := ovrTime * r.PowerRx
+
+	awake := csTime + w*fout*txTimePerPkt + w*fin*rxTimePerPkt + ovrTime
+	sleepTime := w - awake
+	if sleepTime < 0 {
+		sleepTime = 0
+	}
+	return Components{
+		CarrierSense: cs,
+		Tx:           tx,
+		Rx:           rx,
+		Overhear:     ovr,
+		Sleep:        sleepTime * r.PowerSleep,
+	}
+}
+
+// Energy implements Model.
+func (m *XMAC) Energy(x opt.Vector) float64 {
+	return m.EnergyAt(x, m.flows.Bottleneck()).Total()
+}
+
+// Delay implements Model: each hop waits Tw/2 on average for the
+// receiver's poll, then completes the strobe/ACK/data handshake.
+func (m *XMAC) Delay(x opt.Vector) float64 {
+	tw := x[0]
+	return float64(m.env.Rings.Depth) * (tw/2 + m.tShake)
+}
+
+// String returns a short human-readable description.
+func (m *XMAC) String() string {
+	return fmt.Sprintf("xmac(D=%d,C=%d)", m.env.Rings.Depth, m.env.Rings.Density)
+}

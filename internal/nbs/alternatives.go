@@ -1,0 +1,85 @@
+package nbs
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edmac-project/edmac/internal/opt"
+)
+
+// The alternative bargaining solutions below share the NBS feasible
+// region — costs capped at the component-wise minimum of the budgets and
+// the disagreement point — but pick different compromise points. They
+// exist as ablation baselines: the benchmark suite contrasts them with
+// the Nash solution the paper argues for.
+
+// KalaiSmorodinsky computes the Kalai-Smorodinsky bargaining solution
+// for disagreement point (vA, vB) and ideal point (idealA, idealB)
+// (player-wise best costs): the feasible point that equalizes — and
+// maximizes — both players' gain fractions
+//
+//	(vA − A(x)) / (vA − idealA)  and  (vB − B(x)) / (vB − idealB).
+func KalaiSmorodinsky(g Game, vA, vB, idealA, idealB float64) (Point, error) {
+	if err := g.Validate(); err != nil {
+		return Point{}, err
+	}
+	rangeA := vA - idealA
+	rangeB := vB - idealB
+	if rangeA <= 0 || rangeB <= 0 {
+		return Point{}, fmt.Errorf("nbs: kalai-smorodinsky: empty gain ranges (%v, %v)", rangeA, rangeB)
+	}
+	obj := func(x opt.Vector) float64 {
+		fracA := (vA - g.CostA(x)) / rangeA
+		fracB := (vB - g.CostB(x)) / rangeB
+		return -math.Min(fracA, fracB)
+	}
+	return solveCompromise(g, obj, vA, vB)
+}
+
+// Egalitarian computes the egalitarian solution: it maximizes the
+// smaller of the two absolute cost gains over the disagreement point.
+// Unlike Nash and Kalai-Smorodinsky it is not scale-invariant, which the
+// ablation benchmarks demonstrate.
+func Egalitarian(g Game, vA, vB float64) (Point, error) {
+	if err := g.Validate(); err != nil {
+		return Point{}, err
+	}
+	obj := func(x opt.Vector) float64 {
+		return -math.Min(vA-g.CostA(x), vB-g.CostB(x))
+	}
+	return solveCompromise(g, obj, vA, vB)
+}
+
+// WeightedSum minimizes w·Ā(x) + (1−w)·B̄(x), with each cost normalized
+// by its disagreement value — the scalarization baseline the paper's
+// introduction criticizes ("optimizing one objective subject to the
+// other") generalized to a tunable weight.
+func WeightedSum(g Game, vA, vB, w float64) (Point, error) {
+	if err := g.Validate(); err != nil {
+		return Point{}, err
+	}
+	if w < 0 || w > 1 {
+		return Point{}, fmt.Errorf("nbs: weight %v must lie in [0, 1]", w)
+	}
+	if vA <= 0 || vB <= 0 {
+		return Point{}, fmt.Errorf("nbs: weighted sum needs positive normalizers, got (%v, %v)", vA, vB)
+	}
+	obj := func(x opt.Vector) float64 {
+		return w*g.CostA(x)/vA + (1-w)*g.CostB(x)/vB
+	}
+	return solveCompromise(g, obj, vA, vB)
+}
+
+// solveCompromise minimizes obj over the game's bargaining region.
+func solveCompromise(g Game, obj opt.Func, vA, vB float64) (Point, error) {
+	cons := append(g.structural(),
+		opt.AtMost("cap-A", g.CostA, math.Min(g.BudgetA, vA)),
+		opt.AtMost("cap-B", g.CostB, math.Min(g.BudgetB, vB)),
+	)
+	p := opt.Problem{Objective: obj, Bounds: g.Bounds, Constraints: cons}
+	r, err := opt.Solve(p)
+	if err != nil {
+		return Point{}, fmt.Errorf("nbs: compromise solve: %w", err)
+	}
+	return g.pointAt(r.X), nil
+}

@@ -1,0 +1,151 @@
+package nbs
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edmac-project/edmac/internal/opt"
+)
+
+// quadLinGame has A = x², B = 1−x: curved frontier where Nash and
+// Kalai-Smorodinsky provably disagree.
+func quadLinGame() Game {
+	return Game{
+		CostA:   func(x opt.Vector) float64 { return x[0] * x[0] },
+		CostB:   func(x opt.Vector) float64 { return 1 - x[0] },
+		BudgetA: 1,
+		BudgetB: 1,
+		Bounds:  opt.Bounds{Lo: opt.Vector{0}, Hi: opt.Vector{1}},
+	}
+}
+
+func TestKalaiSmorodinskyKnownSolution(t *testing.T) {
+	g := quadLinGame()
+	// Gains: (1−x²)/1 and x/1; equal at 1−x² = x → x = (√5−1)/2.
+	p, err := KalaiSmorodinsky(g, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatalf("KalaiSmorodinsky: %v", err)
+	}
+	want := (math.Sqrt(5) - 1) / 2
+	if math.Abs(p.X[0]-want) > 1e-3 {
+		t.Errorf("KS x = %v, want %v", p.X[0], want)
+	}
+}
+
+func TestKSDiffersFromNash(t *testing.T) {
+	g := quadLinGame()
+	nash, _, err := Bargain(g, 1, 1)
+	if err != nil {
+		t.Fatalf("Bargain: %v", err)
+	}
+	ks, err := KalaiSmorodinsky(g, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatalf("KalaiSmorodinsky: %v", err)
+	}
+	// Nash at 1/sqrt(3) ≈ 0.577, KS at ≈ 0.618.
+	if math.Abs(nash.X[0]-ks.X[0]) < 0.01 {
+		t.Errorf("Nash (%v) and KS (%v) should disagree on a curved frontier", nash.X[0], ks.X[0])
+	}
+}
+
+func TestEgalitarianEqualizesGains(t *testing.T) {
+	g := quadLinGame()
+	p, err := Egalitarian(g, 1, 1)
+	if err != nil {
+		t.Fatalf("Egalitarian: %v", err)
+	}
+	gainA := 1 - p.A
+	gainB := 1 - p.B
+	if math.Abs(gainA-gainB) > 1e-3 {
+		t.Errorf("egalitarian gains unequal: %v vs %v", gainA, gainB)
+	}
+}
+
+// TestEgalitarianScaleDependence documents why the paper prefers Nash:
+// rescaling one cost moves the egalitarian decision but not the Nash one.
+func TestEgalitarianScaleDependence(t *testing.T) {
+	g := quadLinGame()
+	scaled := g
+	scaled.CostA = func(x opt.Vector) float64 { return 10 * x[0] * x[0] }
+	scaled.BudgetA = 10
+
+	e1, err := Egalitarian(g, 1, 1)
+	if err != nil {
+		t.Fatalf("Egalitarian: %v", err)
+	}
+	e2, err := Egalitarian(scaled, 10, 1)
+	if err != nil {
+		t.Fatalf("Egalitarian(scaled): %v", err)
+	}
+	if math.Abs(e1.X[0]-e2.X[0]) < 0.05 {
+		t.Errorf("egalitarian should be scale-dependent: x=%v vs %v", e1.X[0], e2.X[0])
+	}
+
+	n1, _, err := Bargain(g, 1, 1)
+	if err != nil {
+		t.Fatalf("Bargain: %v", err)
+	}
+	n2, _, err := Bargain(scaled, 10, 1)
+	if err != nil {
+		t.Fatalf("Bargain(scaled): %v", err)
+	}
+	if math.Abs(n1.X[0]-n2.X[0]) > 1e-3 {
+		t.Errorf("Nash should be scale-invariant: x=%v vs %v", n1.X[0], n2.X[0])
+	}
+}
+
+func TestWeightedSumSweep(t *testing.T) {
+	g := quadLinGame()
+	// w=0: pure delay player → x → 1; w=1: pure energy player → x → 0.
+	p0, err := WeightedSum(g, 1, 1, 0)
+	if err != nil {
+		t.Fatalf("WeightedSum(0): %v", err)
+	}
+	p1, err := WeightedSum(g, 1, 1, 1)
+	if err != nil {
+		t.Fatalf("WeightedSum(1): %v", err)
+	}
+	if !(p0.X[0] > 0.9) {
+		t.Errorf("w=0 should favour player B fully, got x=%v", p0.X[0])
+	}
+	if !(p1.X[0] < 0.1) {
+		t.Errorf("w=1 should favour player A fully, got x=%v", p1.X[0])
+	}
+	// Intermediate weights move monotonically.
+	prev := p1.X[0]
+	for _, w := range []float64{0.8, 0.5, 0.2} {
+		p, err := WeightedSum(g, 1, 1, w)
+		if err != nil {
+			t.Fatalf("WeightedSum(%v): %v", w, err)
+		}
+		if p.X[0] < prev-1e-6 {
+			t.Errorf("w=%v: x=%v moved backwards from %v", w, p.X[0], prev)
+		}
+		prev = p.X[0]
+	}
+}
+
+func TestWeightedSumValidation(t *testing.T) {
+	g := quadLinGame()
+	if _, err := WeightedSum(g, 1, 1, -0.1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := WeightedSum(g, 1, 1, 1.1); err == nil {
+		t.Error("weight above 1 accepted")
+	}
+	if _, err := WeightedSum(g, 0, 1, 0.5); err == nil {
+		t.Error("zero normalizer accepted")
+	}
+}
+
+func TestKSValidation(t *testing.T) {
+	g := quadLinGame()
+	if _, err := KalaiSmorodinsky(g, 1, 1, 1, 0); err == nil {
+		t.Error("empty gain range accepted")
+	}
+	bad := g
+	bad.CostA = nil
+	if _, err := KalaiSmorodinsky(bad, 1, 1, 0, 0); err == nil {
+		t.Error("invalid game accepted")
+	}
+}

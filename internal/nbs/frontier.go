@@ -1,0 +1,65 @@
+package nbs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/edmac-project/edmac/internal/opt"
+)
+
+// Frontier traces the game's Pareto frontier — the E-L curves plotted in
+// the paper's figures — with the epsilon-constraint method: player B's
+// cost is capped at n evenly spaced levels between its best achievable
+// value and hi, and player A's cost is minimized at each level.
+//
+// hi is typically BudgetB (the full admissible delay range); caps whose
+// subproblem is infeasible are skipped. The returned points are ordered
+// by increasing B.
+func Frontier(g Game, hi float64, n int) ([]Point, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("nbs: frontier needs at least 2 points, got %d", n)
+	}
+	if hi <= 0 {
+		return nil, fmt.Errorf("nbs: frontier cap %v must be positive", hi)
+	}
+
+	// Player B's ideal under the A budget gives the left end of the sweep.
+	p2 := opt.Problem{
+		Objective:   g.CostB,
+		Bounds:      g.Bounds,
+		Constraints: append(g.structural(), opt.AtMost("budget-A", g.CostA, g.BudgetA)),
+	}
+	r2, err := opt.Solve(p2)
+	if err != nil {
+		return nil, fmt.Errorf("nbs: frontier anchor (P2): %w", err)
+	}
+	lo := g.CostB(r2.X)
+	if lo >= hi {
+		return nil, fmt.Errorf("nbs: frontier range empty: best B %v >= cap %v", lo, hi)
+	}
+
+	points := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		cap := lo + (hi-lo)*float64(i)/float64(n-1)
+		p := opt.Problem{
+			Objective:   g.CostA,
+			Bounds:      g.Bounds,
+			Constraints: append(g.structural(), opt.AtMost("cap-B", g.CostB, cap)),
+		}
+		r, err := opt.Solve(p)
+		if err != nil {
+			if errors.Is(err, opt.ErrInfeasible) {
+				continue
+			}
+			return nil, fmt.Errorf("nbs: frontier cap %v: %w", cap, err)
+		}
+		points = append(points, g.pointAt(r.X))
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("nbs: frontier: %w", ErrInfeasible)
+	}
+	return points, nil
+}

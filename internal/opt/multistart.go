@@ -1,0 +1,58 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MultiStart runs Nelder-Mead with an exact penalty from `starts` points
+// sampled uniformly from the box (deterministically for a given seed)
+// plus the box centre, and returns the lexicographically best outcome.
+// It is an independent solving strategy used to cross-check Solve in
+// tests and ablation benchmarks.
+func MultiStart(p Problem, starts int, seed int64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if starts < 1 {
+		starts = 1
+	}
+	const feasTol = 1e-9
+	rng := rand.New(rand.NewSource(seed))
+	evals := 0
+	obj := func(x Vector) float64 {
+		evals++
+		return p.Objective(x)
+	}
+	pen := func(x Vector) float64 {
+		v := p.Violation(x)
+		if math.IsInf(v, 1) {
+			return math.Inf(1)
+		}
+		return obj(x) + 1e7*v
+	}
+
+	dim := p.Bounds.Dim()
+	best := Result{F: math.Inf(1), Violation: math.Inf(1)}
+	try := func(x0 Vector) {
+		r := NelderMead(pen, x0, p.Bounds, NMOptions{})
+		f := obj(r.X)
+		viol := p.Violation(r.X)
+		if isWorse(best.F, best.Violation, f, viol, feasTol) {
+			best = Result{X: r.X.Clone(), F: f, Violation: viol}
+		}
+	}
+	try(p.Bounds.Center())
+	for s := 1; s < starts; s++ {
+		x0 := make(Vector, dim)
+		for i := range x0 {
+			x0[i] = p.Bounds.Lo[i] + rng.Float64()*(p.Bounds.Hi[i]-p.Bounds.Lo[i])
+		}
+		try(x0)
+	}
+	best.Evals = evals
+	if best.Violation > feasTol {
+		return best, ErrInfeasible
+	}
+	return best, nil
+}

@@ -1,0 +1,180 @@
+package opt
+
+import (
+	"math"
+	"sort"
+)
+
+// NMOptions configure the Nelder-Mead simplex search.
+type NMOptions struct {
+	// MaxIter bounds the number of simplex iterations (default 400·dim).
+	MaxIter int
+	// TolF stops the search when the simplex's relative function spread
+	// falls below it (default 1e-12).
+	TolF float64
+	// TolX stops the search when the simplex diameter relative to the
+	// bounds width falls below it (default 1e-10).
+	TolX float64
+	// Step sets the initial simplex edge as a fraction of the bounds
+	// width (default 0.1).
+	Step float64
+}
+
+func (o NMOptions) withDefaults(dim int) NMOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 400 * dim
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-12
+	}
+	if o.TolX <= 0 {
+		o.TolX = 1e-10
+	}
+	if o.Step <= 0 {
+		o.Step = 0.1
+	}
+	return o
+}
+
+// NelderMead minimizes f over the box b starting from x0 using the
+// downhill-simplex method with reflection/expansion/contraction/shrink
+// and hard clamping to the box. It returns the best vertex found.
+//
+// The method is derivative-free and tolerates +Inf plateaus (infeasible
+// penalty regions); vertices there simply rank worst.
+func NelderMead(f Func, x0 Vector, b Bounds, o NMOptions) Result {
+	dim := b.Dim()
+	o = o.withDefaults(dim)
+	evals := 0
+	eval := func(x Vector) float64 {
+		evals++
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	width := b.Width()
+
+	type vertex struct {
+		x Vector
+		f float64
+	}
+	simplex := make([]vertex, dim+1)
+	start := b.Clamp(x0)
+	simplex[0] = vertex{x: start, f: eval(start)}
+	for i := 0; i < dim; i++ {
+		x := start.Clone()
+		step := o.Step * width[i]
+		if x[i]+step > b.Hi[i] {
+			step = -step
+		}
+		x[i] += step
+		x = b.Clamp(x)
+		simplex[i+1] = vertex{x: x, f: eval(x)}
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	order := func() {
+		sort.SliceStable(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	}
+	centroid := func() Vector {
+		c := make(Vector, dim)
+		for _, v := range simplex[:dim] {
+			for i := range c {
+				c[i] += v.x[i]
+			}
+		}
+		for i := range c {
+			c[i] /= float64(dim)
+		}
+		return c
+	}
+	combine := func(c, x Vector, coeff float64) Vector {
+		out := make(Vector, dim)
+		for i := range out {
+			out[i] = c[i] + coeff*(c[i]-x[i])
+		}
+		return b.Clamp(out)
+	}
+
+	reseeded := false
+	for iter := 0; iter < o.MaxIter; iter++ {
+		order()
+		// If every vertex is on an infinite plateau (e.g. the start point
+		// landed in a penalized region), the simplex cannot orient itself;
+		// reseed it once across the whole box to find usable ground.
+		if math.IsInf(simplex[0].f, 1) && !reseeded {
+			reseeded = true
+			center := b.Center()
+			simplex[0] = vertex{x: center, f: eval(center)}
+			for i := 0; i < dim; i++ {
+				x := center.Clone()
+				if i%2 == 0 {
+					x[i] = b.Lo[i] + 0.25*width[i]
+				} else {
+					x[i] = b.Hi[i] - 0.25*width[i]
+				}
+				simplex[i+1] = vertex{x: x, f: eval(x)}
+			}
+			order()
+		}
+		best, worst := simplex[0], simplex[dim]
+
+		// Convergence: function spread and simplex size.
+		spread := math.Abs(worst.f - best.f)
+		if math.IsInf(best.f, 1) {
+			spread = math.Inf(1)
+		}
+		diam := 0.0
+		for _, v := range simplex[1:] {
+			for i := range v.x {
+				d := math.Abs(v.x[i]-simplex[0].x[i]) / width[i]
+				if d > diam {
+					diam = d
+				}
+			}
+		}
+		if spread <= o.TolF*(math.Abs(best.f)+1e-30) && diam <= o.TolX {
+			break
+		}
+
+		c := centroid()
+		refl := combine(c, worst.x, alpha)
+		fRefl := eval(refl)
+		switch {
+		case fRefl < best.f:
+			exp := combine(c, worst.x, gamma)
+			if fExp := eval(exp); fExp < fRefl {
+				simplex[dim] = vertex{x: exp, f: fExp}
+			} else {
+				simplex[dim] = vertex{x: refl, f: fRefl}
+			}
+		case fRefl < simplex[dim-1].f:
+			simplex[dim] = vertex{x: refl, f: fRefl}
+		default:
+			contr := combine(c, worst.x, -rho)
+			if fContr := eval(contr); fContr < worst.f {
+				simplex[dim] = vertex{x: contr, f: fContr}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= dim; i++ {
+					x := make(Vector, dim)
+					for j := range x {
+						x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					x = b.Clamp(x)
+					simplex[i] = vertex{x: x, f: eval(x)}
+				}
+			}
+		}
+	}
+	order()
+	return Result{X: simplex[0].x.Clone(), F: simplex[0].f, Evals: evals}
+}

@@ -1,0 +1,199 @@
+// Package opt is a small, dependency-free nonlinear optimization library
+// built for the low-dimensional constrained programs of the energy-delay
+// framework: (P1) minimize energy subject to a delay cap, (P2) minimize
+// delay subject to an energy budget, and the Nash-bargaining program (P4).
+//
+// The problems are 1-3 dimensional, smooth, and cheap to evaluate, so the
+// package favours robust derivative-free methods: refining grid search
+// for global structure, Nelder-Mead with penalty functions for polish,
+// golden-section/Brent for scalar lines, and deterministic multi-start
+// for cross-checking. All solvers are deterministic for a given input.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vector is a point in parameter space.
+type Vector []float64
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	return append(Vector(nil), v...)
+}
+
+// Func is a scalar function of a parameter vector. Implementations may
+// return +Inf to mark a point as unusable; they must not panic.
+type Func func(Vector) float64
+
+// Constraint is an inequality constraint, satisfied when F(x) <= 0.
+type Constraint struct {
+	// Name labels the constraint in errors and reports.
+	Name string
+	// F is the constraint function; feasible points have F(x) <= 0.
+	F Func
+}
+
+// AtMost builds the constraint f(x) <= limit.
+func AtMost(name string, f Func, limit float64) Constraint {
+	return Constraint{
+		Name: name,
+		F:    func(x Vector) float64 { return f(x) - limit },
+	}
+}
+
+// Bounds is an axis-aligned box. Every solver in this package works on a
+// bounded domain.
+type Bounds struct {
+	Lo, Hi Vector
+}
+
+// Dim returns the dimensionality of the box.
+func (b Bounds) Dim() int { return len(b.Lo) }
+
+// Validate reports whether the box is well formed and non-degenerate.
+func (b Bounds) Validate() error {
+	if len(b.Lo) == 0 {
+		return errors.New("opt: empty bounds")
+	}
+	if len(b.Lo) != len(b.Hi) {
+		return fmt.Errorf("opt: bounds dimension mismatch: %d vs %d", len(b.Lo), len(b.Hi))
+	}
+	for i := range b.Lo {
+		if !(b.Lo[i] < b.Hi[i]) {
+			return fmt.Errorf("opt: bounds[%d]: lo %v must be below hi %v", i, b.Lo[i], b.Hi[i])
+		}
+	}
+	return nil
+}
+
+// Clamp returns a copy of x projected into the box.
+func (b Bounds) Clamp(x Vector) Vector {
+	out := x.Clone()
+	for i := range out {
+		if out[i] < b.Lo[i] {
+			out[i] = b.Lo[i]
+		}
+		if out[i] > b.Hi[i] {
+			out[i] = b.Hi[i]
+		}
+	}
+	return out
+}
+
+// Contains reports whether x lies inside the box (inclusive).
+func (b Bounds) Contains(x Vector) bool {
+	if len(x) != b.Dim() {
+		return false
+	}
+	for i := range x {
+		if x[i] < b.Lo[i] || x[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Center returns the midpoint of the box.
+func (b Bounds) Center() Vector {
+	c := make(Vector, b.Dim())
+	for i := range c {
+		c[i] = 0.5 * (b.Lo[i] + b.Hi[i])
+	}
+	return c
+}
+
+// Width returns the per-dimension widths of the box.
+func (b Bounds) Width() Vector {
+	w := make(Vector, b.Dim())
+	for i := range w {
+		w[i] = b.Hi[i] - b.Lo[i]
+	}
+	return w
+}
+
+// Problem is a bounded, inequality-constrained minimization problem.
+type Problem struct {
+	// Objective is minimized.
+	Objective Func
+	// Bounds delimit the search box; solvers never evaluate outside it.
+	Bounds Bounds
+	// Constraints are inequality constraints g(x) <= 0.
+	Constraints []Constraint
+}
+
+// Validate reports whether the problem is well formed.
+func (p Problem) Validate() error {
+	if p.Objective == nil {
+		return errors.New("opt: nil objective")
+	}
+	if err := p.Bounds.Validate(); err != nil {
+		return err
+	}
+	for i, c := range p.Constraints {
+		if c.F == nil {
+			return fmt.Errorf("opt: constraint %d (%q) has nil function", i, c.Name)
+		}
+	}
+	return nil
+}
+
+// Violation returns the total positive constraint violation at x, zero
+// when x is feasible. NaN constraint values count as infinite violation.
+func (p Problem) Violation(x Vector) float64 {
+	total := 0.0
+	for _, c := range p.Constraints {
+		v := c.F(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+
+// Result is the outcome of a solver run.
+type Result struct {
+	// X is the best point found.
+	X Vector
+	// F is the objective value at X.
+	F float64
+	// Violation is the total constraint violation at X (0 when feasible).
+	Violation float64
+	// Evals counts objective evaluations performed.
+	Evals int
+}
+
+// Feasible reports whether the result satisfies all constraints to the
+// given tolerance.
+func (r Result) Feasible(tol float64) bool { return r.Violation <= tol }
+
+// ErrInfeasible is returned when no point satisfying the constraints
+// exists within the search box (to the configured tolerance).
+var ErrInfeasible = errors.New("opt: no feasible point in the search box")
+
+// isWorse reports whether b is a strictly better candidate than a under
+// the standard lexicographic rule: feasibility (to tol) first, then
+// objective among feasible points, then violation among infeasible ones.
+// NaN objectives are treated as +Inf.
+func isWorse(aF, aViol, bF, bViol, tol float64) bool {
+	if math.IsNaN(aF) {
+		aF = math.Inf(1)
+	}
+	if math.IsNaN(bF) {
+		bF = math.Inf(1)
+	}
+	aFeas, bFeas := aViol <= tol, bViol <= tol
+	switch {
+	case aFeas && bFeas:
+		return bF < aF
+	case aFeas != bFeas:
+		return bFeas
+	default:
+		return bViol < aViol
+	}
+}

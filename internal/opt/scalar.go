@@ -1,0 +1,156 @@
+package opt
+
+import "math"
+
+// invPhi is 1/φ, the golden-section step ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimizes a unimodal scalar function on [lo, hi] to an
+// interval of width tol and returns the midpoint of the final bracket
+// with its value. For non-unimodal functions it converges to a local
+// minimum inside the bracket.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = 1e-10 * (1 + math.Abs(lo) + math.Abs(hi))
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = 0.5 * (a + b)
+	return x, f(x)
+}
+
+// BrentMin minimizes a scalar function on [lo, hi] using Brent's method
+// (golden-section with parabolic interpolation). It converges faster
+// than GoldenSection on smooth functions and degrades gracefully to
+// golden-section steps otherwise.
+func BrentMin(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	const cgold = 0.3819660112501051
+	const zeps = 1e-18
+	a, b := lo, hi
+	x = a + cgold*(b-a)
+	w, v := x, x
+	fx = f(x)
+	fw, fv := fx, fx
+	var d, e float64
+	for iter := 0; iter < 200; iter++ {
+		xm := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + zeps
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-0.5*(b-a) {
+			return x, fx
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Attempt a parabolic fit through x, v, w.
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etemp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etemp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, fv = w, fw
+				w, fw = u, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return x, fx
+}
+
+// Bisect finds a root of f on [lo, hi] by bisection; f(lo) and f(hi)
+// must differ in sign. It returns the midpoint of the final bracket and
+// whether a sign change was present.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, bool) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, true
+	}
+	if fhi == 0 {
+		return hi, true
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, false
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for hi-lo > tol {
+		mid := 0.5 * (lo + hi)
+		fm := f(mid)
+		if fm == 0 {
+			return mid, true
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), true
+}

@@ -1,0 +1,90 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 1.7) * (x - 1.7) }
+	x, fx := GoldenSection(f, -10, 10, 1e-9)
+	if math.Abs(x-1.7) > 1e-6 {
+		t.Errorf("x = %v, want 1.7", x)
+	}
+	if fx > 1e-10 {
+		t.Errorf("f(x) = %v, want ~0", fx)
+	}
+}
+
+func TestGoldenSectionReversedBracket(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x + 2) }
+	x, _ := GoldenSection(f, 5, -5, 1e-9)
+	if math.Abs(x+2) > 1e-6 {
+		t.Errorf("x = %v, want -2", x)
+	}
+}
+
+func TestGoldenSectionBoundaryMinimum(t *testing.T) {
+	// Monotone increasing: minimum sits at the left edge.
+	f := func(x float64) float64 { return x }
+	x, _ := GoldenSection(f, 2, 9, 1e-9)
+	if math.Abs(x-2) > 1e-6 {
+		t.Errorf("x = %v, want 2 (left edge)", x)
+	}
+}
+
+func TestBrentMinSmooth(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		lo   float64
+		hi   float64
+		want float64
+	}{
+		{name: "quadratic", f: func(x float64) float64 { return (x + 3) * (x + 3) }, lo: -10, hi: 10, want: -3},
+		{name: "quartic", f: func(x float64) float64 { return math.Pow(x-0.5, 4) }, lo: -2, hi: 2, want: 0.5},
+		{name: "cosine", f: math.Cos, lo: 0, hi: 2 * math.Pi, want: math.Pi},
+		{name: "energy-shape a/x+bx", f: func(x float64) float64 { return 0.04/x + 0.25*x }, lo: 0.01, hi: 10, want: 0.4},
+	}
+	for _, tt := range tests {
+		x, _ := BrentMin(tt.f, tt.lo, tt.hi, 1e-12)
+		if math.Abs(x-tt.want) > 1e-5 {
+			t.Errorf("%s: x = %v, want %v", tt.name, x, tt.want)
+		}
+	}
+}
+
+func TestBrentMatchesGolden(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(x) - 3*x }
+	bx, _ := BrentMin(f, 0, 3, 1e-12)
+	gx, _ := GoldenSection(f, 0, 3, 1e-10)
+	if math.Abs(bx-gx) > 1e-5 {
+		t.Errorf("Brent %v and golden %v disagree", bx, gx)
+	}
+	if want := math.Log(3); math.Abs(bx-want) > 1e-6 {
+		t.Errorf("x = %v, want ln(3) = %v", bx, want)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, ok := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if !ok {
+		t.Fatal("Bisect reported no sign change on a bracketing interval")
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectNoSignChange(t *testing.T) {
+	if _, ok := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9); ok {
+		t.Error("Bisect claimed a root where none exists")
+	}
+}
+
+func TestBisectRootAtEndpoint(t *testing.T) {
+	root, ok := Bisect(func(x float64) float64 { return x }, 0, 5, 1e-9)
+	if !ok || root != 0 {
+		t.Errorf("Bisect = (%v, %v), want (0, true)", root, ok)
+	}
+}

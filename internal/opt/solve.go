@@ -1,0 +1,189 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Option configures Solve.
+type Option func(*config)
+
+type config struct {
+	gridPoints  int
+	refinements int
+	feasTol     float64
+	polish      bool
+}
+
+func defaultConfig(dim int) config {
+	points := 17
+	if dim == 1 {
+		points = 65
+	}
+	return config{
+		gridPoints:  points,
+		refinements: 8,
+		feasTol:     1e-9,
+		polish:      true,
+	}
+}
+
+// WithGridPoints sets the per-dimension lattice size of the global grid
+// phase (minimum 3).
+func WithGridPoints(n int) Option {
+	return func(c *config) {
+		if n >= 3 {
+			c.gridPoints = n
+		}
+	}
+}
+
+// WithRefinements sets how many times the grid zooms into the best cell.
+func WithRefinements(n int) Option {
+	return func(c *config) {
+		if n >= 0 {
+			c.refinements = n
+		}
+	}
+}
+
+// WithFeasibilityTolerance sets the constraint-violation tolerance below
+// which a point counts as feasible.
+func WithFeasibilityTolerance(tol float64) Option {
+	return func(c *config) {
+		if tol > 0 {
+			c.feasTol = tol
+		}
+	}
+}
+
+// WithoutPolish disables the Nelder-Mead polish phase (grid only);
+// useful for debugging and for benchmarking the phases separately.
+func WithoutPolish() Option {
+	return func(c *config) { c.polish = false }
+}
+
+// Solve minimizes the constrained problem p with a deterministic global
+// strategy suited to the framework's smooth, low-dimensional programs:
+//
+//  1. a refining lattice search over the bounded box locates the basin,
+//     comparing candidates feasibility-first;
+//  2. Nelder-Mead with an escalating exact-penalty weight polishes the
+//     best grid point.
+//
+// Solve returns ErrInfeasible when no point in the box satisfies the
+// constraints to within the feasibility tolerance.
+func Solve(p Problem, opts ...Option) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg := defaultConfig(p.Bounds.Dim())
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	evals := 0
+	obj := func(x Vector) float64 {
+		evals++
+		return p.Objective(x)
+	}
+
+	best, ok := gridPhase(p, obj, cfg)
+	if cfg.polish {
+		best = polishPhase(p, obj, best, cfg)
+		if best.Violation <= cfg.feasTol {
+			ok = true
+		}
+	}
+	best.Evals = evals
+	if !ok || best.Violation > cfg.feasTol {
+		return best, fmt.Errorf("%w: best residual violation %.3g", ErrInfeasible, best.Violation)
+	}
+	return best, nil
+}
+
+// gridPhase runs the refining lattice search. The returned bool reports
+// whether any feasible lattice point was seen.
+func gridPhase(p Problem, obj Func, cfg config) (Result, bool) {
+	dim := p.Bounds.Dim()
+	box := Bounds{Lo: p.Bounds.Lo.Clone(), Hi: p.Bounds.Hi.Clone()}
+	best := Result{F: math.Inf(1), Violation: math.Inf(1)}
+	foundFeasible := false
+
+	idx := make([]int, dim)
+	x := make(Vector, dim)
+	for pass := 0; pass <= cfg.refinements; pass++ {
+		for i := range idx {
+			idx[i] = 0
+		}
+		for {
+			for i := 0; i < dim; i++ {
+				frac := float64(idx[i]) / float64(cfg.gridPoints-1)
+				x[i] = box.Lo[i] + frac*(box.Hi[i]-box.Lo[i])
+			}
+			f := obj(x)
+			viol := p.Violation(x)
+			if viol <= cfg.feasTol {
+				foundFeasible = true
+			}
+			if isWorse(best.F, best.Violation, f, viol, cfg.feasTol) {
+				best = Result{X: x.Clone(), F: f, Violation: viol}
+			}
+			// Advance the mixed-radix counter.
+			carry := dim - 1
+			for carry >= 0 {
+				idx[carry]++
+				if idx[carry] < cfg.gridPoints {
+					break
+				}
+				idx[carry] = 0
+				carry--
+			}
+			if carry < 0 {
+				break
+			}
+		}
+		// Zoom: new box spans two cells around the incumbent, clamped to
+		// the original bounds.
+		for i := 0; i < dim; i++ {
+			cell := (box.Hi[i] - box.Lo[i]) / float64(cfg.gridPoints-1)
+			lo := best.X[i] - 2*cell
+			hi := best.X[i] + 2*cell
+			if lo < p.Bounds.Lo[i] {
+				lo = p.Bounds.Lo[i]
+			}
+			if hi > p.Bounds.Hi[i] {
+				hi = p.Bounds.Hi[i]
+			}
+			box.Lo[i], box.Hi[i] = lo, hi
+		}
+	}
+	return best, foundFeasible
+}
+
+// polishPhase refines the incumbent with Nelder-Mead under an escalating
+// exact penalty, keeping the lexicographically best point seen.
+func polishPhase(p Problem, obj Func, incumbent Result, cfg config) Result {
+	scale := math.Abs(incumbent.F)
+	if math.IsInf(scale, 0) || math.IsNaN(scale) || scale < 1 {
+		scale = 1
+	}
+	best := incumbent
+	for _, w := range []float64{1e2, 1e4, 1e6, 1e8} {
+		weight := w * scale
+		pen := func(x Vector) float64 {
+			v := p.Violation(x)
+			if math.IsInf(v, 1) {
+				return math.Inf(1)
+			}
+			return obj(x) + weight*v
+		}
+		r := NelderMead(pen, best.X, p.Bounds, NMOptions{})
+		f := obj(r.X)
+		viol := p.Violation(r.X)
+		if isWorse(best.F, best.Violation, f, viol, cfg.feasTol) {
+			best = Result{X: r.X.Clone(), F: f, Violation: viol}
+		}
+	}
+	return best
+}

@@ -1,0 +1,232 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveUnconstrainedQuadratic(t *testing.T) {
+	p := Problem{
+		Objective: func(x Vector) float64 { return (x[0]-0.3)*(x[0]-0.3) + (x[1]+0.7)*(x[1]+0.7) },
+		Bounds:    Bounds{Lo: Vector{-2, -2}, Hi: Vector{2, 2}},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(r.X[0]-0.3) > 1e-6 || math.Abs(r.X[1]+0.7) > 1e-6 {
+		t.Errorf("x = %v, want (0.3, -0.7)", r.X)
+	}
+}
+
+func TestSolveActiveConstraint(t *testing.T) {
+	// Minimize x² subject to x >= 1 (i.e. 1 - x <= 0): optimum at x = 1.
+	p := Problem{
+		Objective:   func(x Vector) float64 { return x[0] * x[0] },
+		Bounds:      Bounds{Lo: Vector{-5}, Hi: Vector{5}},
+		Constraints: []Constraint{{Name: "x>=1", F: func(x Vector) float64 { return 1 - x[0] }}},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-5 {
+		t.Errorf("x = %v, want 1", r.X[0])
+	}
+	if !r.Feasible(1e-9) {
+		t.Errorf("result infeasible: violation %v", r.Violation)
+	}
+}
+
+func TestSolveConstrained2D(t *testing.T) {
+	// Maximize x+y inside the unit circle (minimize the negation):
+	// optimum at the tangency point x=y=1/sqrt(2).
+	p := Problem{
+		Objective: func(x Vector) float64 { return -(x[0] + x[1]) },
+		Bounds:    Bounds{Lo: Vector{0, 0}, Hi: Vector{2, 2}},
+		Constraints: []Constraint{
+			{Name: "inside-circle", F: func(x Vector) float64 { return x[0]*x[0] + x[1]*x[1] - 1 }},
+		},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := 1 / math.Sqrt2
+	if math.Abs(r.F+math.Sqrt2) > 1e-4 {
+		t.Errorf("f = %v, want %v", r.F, -math.Sqrt2)
+	}
+	// The tangent direction is nearly flat, so positions get a looser tolerance.
+	if math.Abs(r.X[0]-want) > 1e-2 || math.Abs(r.X[1]-want) > 1e-2 {
+		t.Errorf("x = %v, want (%v, %v)", r.X, want, want)
+	}
+}
+
+func TestSolveMinOutsideCircleHitsCorner(t *testing.T) {
+	// Minimize x+y outside the unit circle: the feasible minimum is 1,
+	// attained at (1,0) or (0,1) where the line x+y=1 meets the circle.
+	p := Problem{
+		Objective: func(x Vector) float64 { return x[0] + x[1] },
+		Bounds:    Bounds{Lo: Vector{0, 0}, Hi: Vector{2, 2}},
+		Constraints: []Constraint{
+			{Name: "outside-circle", F: func(x Vector) float64 { return 1 - (x[0]*x[0] + x[1]*x[1]) }},
+		},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(r.F-1) > 1e-3 {
+		t.Errorf("f = %v at %v, want 1", r.F, r.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := Problem{
+		Objective:   func(x Vector) float64 { return x[0] },
+		Bounds:      Bounds{Lo: Vector{0}, Hi: Vector{1}},
+		Constraints: []Constraint{{Name: "impossible", F: func(x Vector) float64 { return 1 + x[0] }}},
+	}
+	_, err := Solve(p)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Solve error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("Solve of empty problem should fail")
+	}
+	p := Problem{
+		Objective: func(x Vector) float64 { return x[0] },
+		Bounds:    Bounds{Lo: Vector{1}, Hi: Vector{0}},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Error("Solve with inverted bounds should fail")
+	}
+	p = Problem{
+		Objective:   func(x Vector) float64 { return x[0] },
+		Bounds:      Bounds{Lo: Vector{0}, Hi: Vector{1}},
+		Constraints: []Constraint{{Name: "nil"}},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Error("Solve with nil constraint function should fail")
+	}
+}
+
+func TestSolveAtMostHelper(t *testing.T) {
+	delay := func(x Vector) float64 { return 3 * x[0] }
+	p := Problem{
+		Objective:   func(x Vector) float64 { return 1 / x[0] },
+		Bounds:      Bounds{Lo: Vector{0.01}, Hi: Vector{10}},
+		Constraints: []Constraint{AtMost("delay", delay, 6)},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// 1/x decreasing, delay cap binds at x = 2.
+	if math.Abs(r.X[0]-2) > 1e-4 {
+		t.Errorf("x = %v, want 2", r.X[0])
+	}
+}
+
+func TestSolveGridOnly(t *testing.T) {
+	p := Problem{
+		Objective: func(x Vector) float64 { return math.Abs(x[0] - 0.25) },
+		Bounds:    Bounds{Lo: Vector{0}, Hi: Vector{1}},
+	}
+	r, err := Solve(p, WithoutPolish(), WithGridPoints(33), WithRefinements(10))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(r.X[0]-0.25) > 1e-4 {
+		t.Errorf("x = %v, want 0.25", r.X[0])
+	}
+}
+
+// TestSolveMatchesMultiStart cross-checks the two independent strategies
+// on randomized convex quadratics with a linear constraint.
+func TestSolveMatchesMultiStart(t *testing.T) {
+	f := func(cxRaw, cyRaw, capRaw uint8) bool {
+		cx := float64(cxRaw%100)/50 - 1 // [-1, 1)
+		cy := float64(cyRaw%100)/50 - 1
+		cap := 0.5 + float64(capRaw%100)/100 // [0.5, 1.5)
+		p := Problem{
+			Objective: func(x Vector) float64 {
+				return (x[0]-cx)*(x[0]-cx) + (x[1]-cy)*(x[1]-cy)
+			},
+			Bounds:      Bounds{Lo: Vector{-2, -2}, Hi: Vector{2, 2}},
+			Constraints: []Constraint{AtMost("sum", func(x Vector) float64 { return x[0] + x[1] }, cap)},
+		}
+		a, errA := Solve(p)
+		b, errB := MultiStart(p, 8, 1)
+		if errA != nil || errB != nil {
+			return false
+		}
+		return math.Abs(a.F-b.F) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiStartInfeasible(t *testing.T) {
+	p := Problem{
+		Objective:   func(x Vector) float64 { return x[0] },
+		Bounds:      Bounds{Lo: Vector{0}, Hi: Vector{1}},
+		Constraints: []Constraint{{Name: "impossible", F: func(x Vector) float64 { return 1 }}},
+	}
+	if _, err := MultiStart(p, 4, 1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("MultiStart error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	b := Bounds{Lo: Vector{0, -1}, Hi: Vector{2, 1}}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := b.Clamp(Vector{-5, 5}); got[0] != 0 || got[1] != 1 {
+		t.Errorf("Clamp = %v, want [0 1]", got)
+	}
+	if !b.Contains(Vector{1, 0}) {
+		t.Error("Contains(interior) = false")
+	}
+	if b.Contains(Vector{3, 0}) {
+		t.Error("Contains(exterior) = true")
+	}
+	if b.Contains(Vector{1}) {
+		t.Error("Contains with wrong dimension = true")
+	}
+	c := b.Center()
+	if c[0] != 1 || c[1] != 0 {
+		t.Errorf("Center = %v, want [1 0]", c)
+	}
+	w := b.Width()
+	if w[0] != 2 || w[1] != 2 {
+		t.Errorf("Width = %v, want [2 2]", w)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestViolationNaN(t *testing.T) {
+	p := Problem{
+		Objective:   func(x Vector) float64 { return 0 },
+		Bounds:      Bounds{Lo: Vector{0}, Hi: Vector{1}},
+		Constraints: []Constraint{{Name: "nan", F: func(x Vector) float64 { return math.NaN() }}},
+	}
+	if v := p.Violation(Vector{0.5}); !math.IsInf(v, 1) {
+		t.Errorf("Violation with NaN constraint = %v, want +Inf", v)
+	}
+}

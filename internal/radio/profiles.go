@@ -1,0 +1,42 @@
+package radio
+
+// CC2420 returns the profile of the Texas Instruments/Chipcon CC2420, the
+// 2.4 GHz IEEE 802.15.4 transceiver used by the TelosB/TMote-class motes
+// that X-MAC, DMAC and LMAC were originally evaluated on.
+//
+// Electrical values assume a 3.0 V supply: 17.4 mA transmit at 0 dBm,
+// 18.8 mA receive/listen, ~1 µA in power-down. The 802.15.4 PHY prepends
+// 6 bytes (4 preamble + 1 SFD + 1 length) to every frame at 250 kbit/s.
+func CC2420() Radio {
+	return Radio{
+		Name:        "cc2420",
+		BitRate:     250e3,
+		PowerTx:     52.2e-3,
+		PowerRx:     56.4e-3,
+		PowerListen: 56.4e-3,
+		PowerSleep:  3e-6,
+		Startup:     0.5e-3,
+		Turnaround:  0.192e-3,
+		CCA:         0.128e-3,
+		PHYOverhead: 6,
+	}
+}
+
+// CC1101 returns the profile of the Texas Instruments CC1101 sub-GHz
+// transceiver, a common alternative for long-range, low-rate deployments.
+// Values assume 3.0 V supply, 0 dBm output and 250 kBaud GFSK:
+// 16.9 mA transmit, 16.4 mA receive, 0.2 µA sleep.
+func CC1101() Radio {
+	return Radio{
+		Name:        "cc1101",
+		BitRate:     250e3,
+		PowerTx:     50.7e-3,
+		PowerRx:     49.2e-3,
+		PowerListen: 49.2e-3,
+		PowerSleep:  0.6e-6,
+		Startup:     0.8e-3,
+		Turnaround:  0.25e-3,
+		CCA:         0.15e-3,
+		PHYOverhead: 8,
+	}
+}

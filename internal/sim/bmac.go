@@ -1,0 +1,203 @@
+package sim
+
+import "github.com/edmac-project/edmac/internal/radio"
+
+// bmacPhase is the protocol state of one B-MAC node.
+type bmacPhase int
+
+const (
+	bIdle     bmacPhase = iota // asleep between polls
+	bPolling                   // channel check in progress
+	bWaitData                  // preamble heard; data follows
+	bWaitAck                   // sender: data sent, awaiting the ACK
+)
+
+// bmacMaxRetries bounds per-packet transmission attempts.
+const bmacMaxRetries = 5
+
+// bmacNode is the packet-level B-MAC implementation: classic low-power
+// listening with a full-length, address-free wakeup preamble spanning
+// one check interval. Everyone in range of the preamble — not just the
+// target — stays awake through the data frame, which is the overhearing
+// cost X-MAC's strobes were invented to remove.
+type bmacNode struct {
+	*node
+	tw float64
+
+	phase   bmacPhase
+	busy    bool
+	retries int
+
+	preambleBytes int
+
+	pollTimer *Timer
+	dataTimer *Timer
+	ackTimer  *Timer
+
+	pollWindow float64
+	turn       float64
+}
+
+func newBMACNode(n *node, tw float64) *bmacNode {
+	m := &bmacNode{node: n, tw: tw, turn: n.x.prof.Turnaround}
+	// The preamble must span a full check interval on the air.
+	bytes := int(tw/n.x.prof.ByteTime()) - n.x.prof.PHYOverhead
+	if bytes < 1 {
+		bytes = 1
+	}
+	m.preambleBytes = bytes
+	m.pollWindow = 2*n.x.prof.CCA + 2*interFrameSpacing
+	return m
+}
+
+// start implements macLayer.
+func (m *bmacNode) start() {
+	m.x.Sleep()
+	m.eng.After(m.rng.Float64()*m.tw, m.poll)
+}
+
+// sampled implements macLayer.
+func (m *bmacNode) sampled(p *Packet) {
+	m.push(p)
+	if !m.busy {
+		m.attemptSend()
+	}
+}
+
+func (m *bmacNode) poll() {
+	m.eng.After(m.tw, m.poll)
+	if m.busy {
+		return
+	}
+	m.x.Listen() // midLock may land us straight in Rx on a preamble
+	m.phase = bPolling
+	m.busy = true
+	m.pollTimer = m.eng.After(m.pollWindow, m.pollExpired)
+}
+
+func (m *bmacNode) pollExpired() {
+	if m.phase != bPolling {
+		return
+	}
+	if m.x.State() == radio.Rx || m.x.CarrierBusy() {
+		// Preamble (or other frame) in flight: hold on until it resolves.
+		m.pollTimer = m.eng.After(m.x.Airtime(m.dataBytes), m.pollExpired)
+		return
+	}
+	m.finish()
+	m.maybeSend()
+}
+
+func (m *bmacNode) finish() {
+	m.pollTimer.Cancel()
+	m.dataTimer.Cancel()
+	m.ackTimer.Cancel()
+	m.phase = bIdle
+	m.busy = false
+	m.x.Sleep()
+}
+
+func (m *bmacNode) maybeSend() {
+	if !m.busy && m.head() != nil {
+		m.attemptSend()
+	}
+}
+
+func (m *bmacNode) attemptSend() {
+	if m.busy || m.head() == nil || m.isSink() {
+		return
+	}
+	m.busy = true
+	m.x.Listen()
+	if m.x.CarrierBusy() {
+		m.busy = false
+		m.x.Sleep()
+		m.eng.After(m.rng.Float64()*m.tw/2, m.attemptSend)
+		return
+	}
+	m.phase = bWaitAck // set early; the preamble+data run back to back
+	m.x.Send(&Frame{Kind: FramePreamble, Src: m.id, Dst: Broadcast, Bytes: m.preambleBytes})
+}
+
+// dataExpired fires when no data frame followed a heard preamble (the
+// exchange collided or the sender died mid-handshake).
+func (m *bmacNode) dataExpired() {
+	if m.phase != bWaitData {
+		return
+	}
+	m.finish()
+	m.maybeSend()
+}
+
+func (m *bmacNode) ackExpired() {
+	if m.phase != bWaitAck {
+		return
+	}
+	m.retries++
+	if m.retries > bmacMaxRetries {
+		m.pop()
+		m.metrics.recordDropped()
+		m.retries = 0
+	}
+	m.finish()
+	m.eng.After(m.rng.Float64()*m.tw, m.maybeSend)
+}
+
+// OnTxDone implements FrameHandler.
+func (m *bmacNode) OnTxDone(f *Frame) {
+	switch f.Kind {
+	case FramePreamble:
+		m.x.Send(&Frame{Kind: FrameData, Src: m.id, Dst: m.parent, Bytes: m.dataBytes, Packet: m.head()})
+	case FrameData:
+		ackWait := m.turn + m.x.Airtime(m.ackBytes) + m.turn + 2*interFrameSpacing
+		m.ackTimer = m.eng.After(ackWait, m.ackExpired)
+	case FrameAck:
+		m.finish()
+		m.maybeSend()
+	}
+}
+
+// OnFrame implements FrameHandler.
+func (m *bmacNode) OnFrame(f *Frame) {
+	switch m.phase {
+	case bPolling:
+		if f.Kind == FramePreamble {
+			// Address-free: every hearer must stay for the data.
+			m.pollTimer.Cancel()
+			m.phase = bWaitData
+			wait := interFrameSpacing + m.x.Airtime(m.dataBytes) + 2*m.turn
+			m.dataTimer = m.eng.After(wait, m.dataExpired)
+			return
+		}
+		// Any other frame mid-poll: not ours to handle.
+		m.pollTimer.Cancel()
+		m.finish()
+	case bWaitData:
+		if f.Kind != FrameData {
+			return
+		}
+		m.dataTimer.Cancel()
+		if f.Dst == m.id {
+			pkt := f.Packet
+			m.eng.After(m.turn, func() {
+				m.x.Send(&Frame{Kind: FrameAck, Src: m.id, Dst: f.Src, Bytes: m.ackBytes})
+			})
+			m.accept(pkt)
+			return
+		}
+		// Overheard someone else's data — the cost of address-free
+		// preambles, paid in full before sleeping again.
+		m.finish()
+		m.maybeSend()
+	case bWaitAck:
+		if f.Kind == FrameAck && f.Dst == m.id {
+			m.ackTimer.Cancel()
+			m.pop()
+			m.retries = 0
+			m.finish()
+			m.maybeSend()
+		}
+	}
+}
+
+var _ macLayer = (*bmacNode)(nil)

@@ -1,0 +1,216 @@
+package sim
+
+import "fmt"
+
+// dmacPhase is the protocol state of one DMAC node.
+type dmacPhase int
+
+const (
+	dSleep   dmacPhase = iota // between slots
+	dRxSlot                   // listening in the receive slot
+	dContend                  // waiting out the contention backoff
+	dWaitAck                  // data sent, waiting for the ACK
+)
+
+// dmacMaxRetries bounds per-packet attempts (one per frame).
+const dmacMaxRetries = 8
+
+// dmacTrace enables developer tracing in tests.
+var dmacTrace = false
+
+func (m *dmacNode) tracef(format string, args ...interface{}) {
+	if dmacTrace {
+		fmt.Printf("%.6f dmac[%d] phase=%d "+format+"\n",
+			append([]interface{}{m.eng.Now(), int(m.id), int(m.phase)}, args...)...)
+	}
+}
+
+// dmacNode is the packet-level DMAC implementation: a staggered wakeup
+// ladder where a node at depth d opens a receive slot aligned with its
+// children's transmit slot and forwards in the next slot, so data rides
+// a single wave to the sink each frame. Network-wide slot alignment is
+// assumed, as in the protocol (DMAC relies on time synchronization).
+type dmacNode struct {
+	*node
+	frame float64 // frame length T
+	mu    float64 // slot length µ
+	depth int     // network depth D
+	ring  int     // this node's depth d
+
+	phase   dmacPhase
+	retries int
+	// skipFrames mutes the transmit slot for a few frames after a failed
+	// attempt (binary exponential backoff in frame units): two hidden
+	// senders whose data collided would otherwise retry in the very same
+	// slot forever, since CCA cannot see across two hops.
+	skipFrames int
+
+	cw      float64 // contention window
+	turn    float64
+	ackWait float64
+
+	ackTimer *Timer
+}
+
+func newDMACNode(n *node, frame, mu float64, depth int) *dmacNode {
+	d := &dmacNode{
+		node:  n,
+		frame: frame,
+		mu:    mu,
+		depth: depth,
+		ring:  n.net.Ring(n.id),
+		turn:  n.x.prof.Turnaround,
+	}
+	d.cw = 8 * n.x.prof.CCA
+	d.ackWait = d.turn + n.x.Airtime(n.ackBytes) + d.turn + n.x.prof.CCA
+	return d
+}
+
+// start implements macLayer.
+func (m *dmacNode) start() {
+	m.x.Sleep()
+	m.scheduleFrame(0)
+}
+
+// scheduleFrame arms the slot events of frame k. All boundaries are
+// computed from integer slot indices off one epoch value, so that
+// coinciding boundaries (this node's rx-slot close and tx-slot open)
+// are bit-identical floats and scheduling order decides: the close must
+// run first or the node would skip its own transmit slot.
+func (m *dmacNode) scheduleFrame(k int) {
+	epoch := float64(k) * m.frame
+	boundary := func(slot int) float64 { return epoch + float64(slot)*m.mu }
+	// Depth-D nodes transmit at slot index 0; a node at ring d transmits
+	// at index D−d, receiving from its children in the slot before.
+	txSlot := m.depth - m.ring
+	if m.ring < m.depth {
+		m.eng.At(boundary(txSlot-1), m.openRxSlot)
+		m.eng.At(boundary(txSlot), m.closeRxSlot)
+	}
+	if !m.isSink() {
+		m.eng.At(boundary(txSlot), m.openTxSlot)
+	}
+	m.eng.At(epoch+m.frame, func() { m.scheduleFrame(k + 1) })
+}
+
+// sampled implements macLayer: packets wait for the next transmit slot.
+func (m *dmacNode) sampled(p *Packet) { m.push(p) }
+
+// openRxSlot turns the receiver on for one slot.
+func (m *dmacNode) openRxSlot() {
+	m.tracef("openRxSlot")
+	if m.phase != dSleep {
+		return
+	}
+	m.phase = dRxSlot
+	m.x.Listen()
+}
+
+// closeRxSlot returns to sleep unless a handshake is still running.
+func (m *dmacNode) closeRxSlot() {
+	m.tracef("closeRxSlot")
+	if m.phase == dRxSlot {
+		m.phase = dSleep
+		m.x.Sleep()
+	}
+}
+
+// openTxSlot contends for the channel when traffic is pending.
+func (m *dmacNode) openTxSlot() {
+	m.tracef("openTxSlot qlen=%d", len(m.queue))
+	if m.phase != dSleep || m.head() == nil {
+		return
+	}
+	if m.skipFrames > 0 {
+		m.skipFrames--
+		return
+	}
+	m.phase = dContend
+	m.x.Listen()
+	backoff := m.rng.Float64() * m.cw
+	m.eng.After(backoff, m.contentionDone)
+}
+
+// contentionDone performs the CCA and transmits on a clear channel.
+func (m *dmacNode) contentionDone() {
+	m.tracef("contentionDone busy=%v", m.x.CarrierBusy())
+	if m.phase != dContend {
+		return
+	}
+	if m.x.CarrierBusy() {
+		// Lost the contention: try again next frame.
+		m.phase = dSleep
+		m.x.Sleep()
+		return
+	}
+	m.x.Send(&Frame{Kind: FrameData, Src: m.id, Dst: m.parent, Bytes: m.dataBytes, Packet: m.head()})
+}
+
+// OnTxDone implements FrameHandler.
+func (m *dmacNode) OnTxDone(f *Frame) {
+	m.tracef("OnTxDone %v", f.Kind)
+	switch f.Kind {
+	case FrameData:
+		m.phase = dWaitAck
+		m.ackTimer = m.eng.After(m.ackWait, m.ackExpired)
+	case FrameAck:
+		// Receiver side: handshake done; the rx slot may still be open.
+		if m.phase == dSleep {
+			m.x.Sleep()
+		}
+	}
+}
+
+// ackExpired gives up on this frame's attempt and backs off a random
+// number of frames that doubles with every consecutive failure.
+func (m *dmacNode) ackExpired() {
+	m.tracef("ackExpired")
+	if m.phase != dWaitAck {
+		return
+	}
+	m.retries++
+	if m.retries > dmacMaxRetries {
+		m.pop()
+		m.metrics.recordDropped()
+		m.retries = 0
+	} else {
+		window := 1 << uint(m.retries)
+		if window > 16 {
+			window = 16
+		}
+		m.skipFrames = m.rng.Intn(window)
+	}
+	m.phase = dSleep
+	m.x.Sleep()
+}
+
+// OnFrame implements FrameHandler.
+func (m *dmacNode) OnFrame(f *Frame) {
+	m.tracef("OnFrame %v src=%d dst=%d", f.Kind, int(f.Src), int(f.Dst))
+	switch m.phase {
+	case dRxSlot:
+		if f.Kind == FrameData && f.Dst == m.id {
+			pkt := f.Packet
+			m.eng.After(m.turn, func() {
+				m.x.Send(&Frame{Kind: FrameAck, Src: m.id, Dst: f.Src, Bytes: m.ackBytes})
+			})
+			m.accept(pkt)
+			return
+		}
+		// Overheard a neighbour's exchange: stay in the slot (the
+		// schedule still owns the radio until closeRxSlot).
+	case dWaitAck:
+		if f.Kind == FrameAck && f.Dst == m.id {
+			m.ackTimer.Cancel()
+			m.pop()
+			m.retries = 0
+			m.phase = dSleep
+			m.x.Sleep()
+		}
+	case dSleep, dContend:
+		// Nothing to do: contention resolution reads the carrier, not
+		// frames.
+	}
+}
+
+var _ macLayer = (*dmacNode)(nil)

@@ -1,0 +1,123 @@
+// Package sim is a packet-level discrete-event simulator for duty-cycled
+// wireless sensor networks. It provides the experimental substrate the
+// original protocol models were validated against (testbeds and ns-2
+// class simulators we do not have — see DESIGN.md §5): a virtual-time
+// event engine, a unit-disk radio medium with collision handling, a
+// per-node transceiver state machine with energy metering, and faithful
+// packet-level implementations of X-MAC, DMAC and LMAC.
+//
+// The simulator measures what the analytic models of internal/macmodel
+// predict; the cross-validation tests and the `edsim validate` command
+// compare the two.
+package sim
+
+import "container/heap"
+
+// Time is virtual simulation time in seconds. It is a float64 rather
+// than time.Duration because it feeds the same closed-form arithmetic as
+// the analytic models (it is compared against them directly).
+type Time = float64
+
+// event is one scheduled callback.
+type event struct {
+	at        Time
+	seq       uint64 // tie-breaker: FIFO among equal timestamps
+	fn        func()
+	cancelled bool
+}
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires. MAC protocols cancel pending timeouts constantly (an ACK
+// arriving cancels the retry timer, a frame ending cancels the poll
+// extension, ...).
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event scheduler: a priority queue of callbacks
+// over virtual time. It is single-threaded by design — determinism for a
+// given seed is a correctness requirement of the validation tests.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	events uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.events }
+
+// At schedules fn at absolute time t (clamped to now for past times) and
+// returns a cancellable handle.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Run executes events in timestamp order until the queue empties or the
+// next event lies beyond `until`; the clock then advances to `until`.
+func (e *Engine) Run(until Time) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.events++
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	eng.At(3, func() { got = append(got, 3) })
+	eng.At(1, func() { got = append(got, 1) })
+	eng.At(2, func() { got = append(got, 2) })
+	eng.Run(10)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if eng.Now() != 10 {
+		t.Errorf("Now = %v, want 10 (clock advances to the horizon)", eng.Now())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.At(1, func() { got = append(got, i) })
+	}
+	eng.Run(2)
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	eng := NewEngine()
+	var times []Time
+	eng.After(1, func() {
+		times = append(times, eng.Now())
+		eng.After(2, func() { times = append(times, eng.Now()) })
+	})
+	eng.Run(5)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	timer := eng.After(1, func() { fired = true })
+	timer.Cancel()
+	eng.Run(2)
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	// Cancelling twice or after the horizon must not panic.
+	timer.Cancel()
+	var nilTimer *Timer
+	nilTimer.Cancel()
+}
+
+func TestEngineHorizonStopsEarly(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.At(5, func() { fired = true })
+	eng.Run(3)
+	if fired {
+		t.Error("event beyond the horizon fired")
+	}
+	if eng.Now() != 3 {
+		t.Errorf("Now = %v, want 3", eng.Now())
+	}
+	eng.Run(6)
+	if !fired {
+		t.Error("event not fired after extending the horizon")
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	eng := NewEngine()
+	eng.At(2, func() {
+		eng.At(1, func() {
+			if eng.Now() < 2 {
+				t.Errorf("past-scheduled event ran at %v, before the clock", eng.Now())
+			}
+		})
+	})
+	eng.Run(3)
+	if eng.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2", eng.Processed())
+	}
+}

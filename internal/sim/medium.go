@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"github.com/edmac-project/edmac/internal/radio"
+	"github.com/edmac-project/edmac/internal/topology"
+)
+
+// FrameHandler is the MAC-layer upcall interface of a transceiver.
+type FrameHandler interface {
+	// OnFrame delivers a successfully decoded frame (including frames
+	// addressed to other nodes — overhearing is the MAC's business).
+	OnFrame(f *Frame)
+	// OnTxDone signals that the node's own transmission left the air.
+	OnTxDone(f *Frame)
+}
+
+// transmission is one frame in flight.
+type transmission struct {
+	frame *Frame
+	from  topology.NodeID
+}
+
+// Medium is the shared radio channel: unit-disk propagation over the
+// network graph, zero propagation delay, and a collision model in which
+// any overlap of two receptions at a listening node corrupts the locked
+// frame (no capture effect).
+type Medium struct {
+	eng        *Engine
+	net        *topology.Network
+	xcvrs      []*Transceiver
+	carriers   []int // per node: transmissions currently audible
+	inflight   map[*transmission]struct{}
+	collisions int
+}
+
+// NewMedium creates the channel and one transceiver per node.
+func NewMedium(eng *Engine, net *topology.Network, prof radio.Radio) *Medium {
+	m := &Medium{
+		eng:      eng,
+		net:      net,
+		xcvrs:    make([]*Transceiver, net.N()),
+		carriers: make([]int, net.N()),
+		inflight: make(map[*transmission]struct{}),
+	}
+	for i := range m.xcvrs {
+		m.xcvrs[i] = &Transceiver{
+			id:    topology.NodeID(i),
+			med:   m,
+			prof:  prof,
+			state: radio.Sleep,
+		}
+	}
+	return m
+}
+
+// Transceiver returns node id's radio.
+func (m *Medium) Transceiver(id topology.NodeID) *Transceiver { return m.xcvrs[id] }
+
+// Collisions returns the number of corrupted receptions so far.
+func (m *Medium) Collisions() int { return m.collisions }
+
+// startTx propagates a new transmission to every neighbour of the sender.
+func (m *Medium) startTx(from topology.NodeID, f *Frame, airtime float64) {
+	tx := &transmission{frame: f, from: from}
+	m.inflight[tx] = struct{}{}
+	for _, nb := range m.net.Neighbors(from) {
+		m.carriers[nb]++
+		x := m.xcvrs[nb]
+		switch {
+		case x.state == radio.Listen && x.lock == nil:
+			// Clean channel at a listening node: lock onto the frame.
+			x.lock = tx
+			x.lockBad = false
+			x.setState(radio.Rx)
+		case x.state == radio.Rx && x.lock != nil:
+			// Overlap corrupts whatever was being received.
+			x.lockBad = true
+			m.collisions++
+		}
+		// Sleeping or transmitting nodes miss the frame entirely.
+	}
+	m.eng.After(airtime, func() { m.endTx(tx) })
+}
+
+// endTx removes the transmission and delivers it where reception
+// survived.
+func (m *Medium) endTx(tx *transmission) {
+	delete(m.inflight, tx)
+	for _, nb := range m.net.Neighbors(tx.from) {
+		m.carriers[nb]--
+		x := m.xcvrs[nb]
+		if x.lock != tx {
+			continue
+		}
+		ok := !x.lockBad
+		x.lock = nil
+		x.lockBad = false
+		x.setState(radio.Listen)
+		if ok && x.handler != nil {
+			x.handler.OnFrame(tx.frame)
+		}
+	}
+}
+
+// busy reports whether the channel is effectively occupied at the node:
+// a transmission is audible, or a neighbour has committed to transmit
+// (radio ramping up during the inter-frame spacing). Including committed
+// transmitters models a CCA that detects the transmitter's ramp-up and
+// closes the blind window the spacing would otherwise open.
+func (m *Medium) busy(id topology.NodeID) bool {
+	if m.carriers[id] > 0 {
+		return true
+	}
+	for _, nb := range m.net.Neighbors(id) {
+		if m.xcvrs[nb].state == radio.Tx {
+			return true
+		}
+	}
+	return false
+}
+
+// Transceiver is one node's radio: a state machine over
+// sleep/listen/rx/tx that meters the time spent in every state. MAC
+// implementations drive it and receive upcalls through their
+// FrameHandler.
+type Transceiver struct {
+	id      topology.NodeID
+	med     *Medium
+	prof    radio.Radio
+	handler FrameHandler
+
+	state   radio.State
+	since   Time
+	acc     [5]float64 // seconds per radio.State (1-indexed)
+	lock    *transmission
+	lockBad bool
+	sending *Frame
+}
+
+// SetHandler installs the MAC upcall target; must be called before the
+// simulation starts.
+func (x *Transceiver) SetHandler(h FrameHandler) { x.handler = h }
+
+// ID returns the node this radio belongs to.
+func (x *Transceiver) ID() topology.NodeID { return x.id }
+
+// State returns the current radio state.
+func (x *Transceiver) State() radio.State { return x.state }
+
+// setState accumulates elapsed time and switches state.
+func (x *Transceiver) setState(s radio.State) {
+	now := x.med.eng.Now()
+	x.acc[x.state] += now - x.since
+	x.since = now
+	x.state = s
+}
+
+// Sleep powers the radio down, aborting any reception in progress. It
+// is a no-op while transmitting: the frame finishes first and the MAC
+// decides again in OnTxDone.
+func (x *Transceiver) Sleep() {
+	if x.state == radio.Tx {
+		return
+	}
+	x.lock = nil
+	x.lockBad = false
+	x.setState(radio.Sleep)
+}
+
+// Listen turns the receiver on (idle listening). If a neighbour started
+// transmitting earlier the node cannot decode the partial frame — it
+// senses a busy channel and locks onto the next one — with one
+// exception: a wakeup preamble (FramePreamble) is detectable mid-flight,
+// which is the mechanism low-power listening relies on. No-op while
+// receiving or transmitting.
+func (x *Transceiver) Listen() {
+	if x.state == radio.Listen || x.state == radio.Rx || x.state == radio.Tx {
+		return
+	}
+	x.setState(radio.Listen)
+	x.med.midLock(x)
+}
+
+// midLock locks a freshly listening node onto an audible in-flight
+// preamble, unless several carriers overlap (then nothing is decodable).
+func (m *Medium) midLock(x *Transceiver) {
+	if m.carriers[x.id] != 1 {
+		return
+	}
+	for tx := range m.inflight {
+		if tx.frame.Kind != FramePreamble {
+			continue
+		}
+		for _, nb := range m.net.Neighbors(tx.from) {
+			if nb == x.id {
+				x.lock = tx
+				x.lockBad = false
+				x.setState(radio.Rx)
+				return
+			}
+		}
+	}
+}
+
+// CarrierBusy reports whether the channel is busy at this node. The MAC
+// uses it for CCA; it works in any radio state.
+func (x *Transceiver) CarrierBusy() bool { return x.med.busy(x.id) }
+
+// interFrameSpacing is the radio ramp-up between a Send call and the
+// first bit on the air (one byte time at 250 kbit/s). Besides being
+// physically real, it guarantees that a transmission triggered by a
+// frame's end never starts at the same instant: all end-of-frame
+// bookkeeping (peers returning to listen, carrier counts) settles first,
+// which keeps back-to-back handshakes (strobe→ack→data→ack) race-free.
+const interFrameSpacing = 32e-6
+
+// Send puts a frame on the air after interFrameSpacing. Any reception in
+// progress is aborted (the MAC should avoid that via CCA). OnTxDone
+// fires when the airtime elapses; the radio then returns to Listen.
+func (x *Transceiver) Send(f *Frame) {
+	x.lock = nil
+	x.lockBad = false
+	x.setState(radio.Tx)
+	x.sending = f
+	airtime := x.prof.FrameAirtime(f.Bytes)
+	x.med.eng.After(interFrameSpacing, func() {
+		x.med.startTx(x.id, f, airtime)
+	})
+	x.med.eng.After(interFrameSpacing+airtime, func() {
+		x.sending = nil
+		x.setState(radio.Listen)
+		if x.handler != nil {
+			x.handler.OnTxDone(f)
+		}
+	})
+}
+
+// Airtime returns the on-air duration of a frame of the given MAC size.
+func (x *Transceiver) Airtime(bytes int) float64 { return x.prof.FrameAirtime(bytes) }
+
+// finish closes the energy accounting at the current time.
+func (x *Transceiver) finish() { x.setState(x.state) }
+
+// TimeIn returns the seconds spent in state s so far.
+func (x *Transceiver) TimeIn(s radio.State) float64 { return x.acc[s] }
+
+// Energy returns the joules consumed so far: Σ time(state) × power.
+func (x *Transceiver) Energy() float64 {
+	total := 0.0
+	for _, s := range []radio.State{radio.Sleep, radio.Listen, radio.Rx, radio.Tx} {
+		total += x.acc[s] * x.prof.Power(s)
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/edmac-project/edmac/internal/macmodel"
+	"github.com/edmac-project/edmac/internal/topology"
+)
+
+// queueCap bounds the per-node forwarding queue; overflow drops the
+// oldest packet (and counts it) rather than growing without bound.
+const queueCap = 64
+
+// macLayer is what every protocol implementation exposes to the runner.
+type macLayer interface {
+	FrameHandler
+	// start installs schedules and puts the radio into its initial state.
+	start()
+	// sampled hands the MAC a freshly generated application packet.
+	sampled(p *Packet)
+}
+
+// node bundles everything one node's MAC needs: radio, routing, queue,
+// randomness and metrics. The sink is node 0; it runs the same MAC with
+// an empty generator and delivers received packets to the metrics.
+type node struct {
+	eng     *Engine
+	net     *topology.Network
+	x       *Transceiver
+	id      topology.NodeID
+	parent  topology.NodeID
+	rng     *rand.Rand
+	metrics *Metrics
+	queue   []*Packet
+
+	dataBytes   int
+	ackBytes    int
+	strobeBytes int
+	ctrlBytes   int
+}
+
+func newNode(eng *Engine, net *topology.Network, med *Medium, id topology.NodeID,
+	rng *rand.Rand, metrics *Metrics, payload int) *node {
+	return &node{
+		eng:         eng,
+		net:         net,
+		x:           med.Transceiver(id),
+		id:          id,
+		parent:      net.Parent(id),
+		rng:         rng,
+		metrics:     metrics,
+		dataBytes:   payload + macmodel.DataHeaderBytes,
+		ackBytes:    macmodel.AckBytes,
+		strobeBytes: macmodel.StrobeBytes,
+		ctrlBytes:   macmodel.CtrlBytes,
+	}
+}
+
+// isSink reports whether this node is the data sink.
+func (n *node) isSink() bool { return n.id == 0 }
+
+// push appends a packet to the forwarding queue, dropping the oldest on
+// overflow.
+func (n *node) push(p *Packet) {
+	if len(n.queue) >= queueCap {
+		n.queue = n.queue[1:]
+		n.metrics.recordDropped()
+	}
+	n.queue = append(n.queue, p)
+}
+
+// head returns the next packet to send without removing it.
+func (n *node) head() *Packet {
+	if len(n.queue) == 0 {
+		return nil
+	}
+	return n.queue[0]
+}
+
+// pop removes the head packet.
+func (n *node) pop() {
+	if len(n.queue) > 0 {
+		n.queue = n.queue[1:]
+	}
+}
+
+// accept handles a data frame addressed to this node: the sink records
+// the delivery, forwarders enqueue for the next hop.
+func (n *node) accept(p *Packet) {
+	if n.isSink() {
+		n.metrics.recordDelivery(p.Origin, n.eng.Now()-p.Created)
+		return
+	}
+	n.push(p)
+}

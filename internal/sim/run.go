@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/edmac-project/edmac/internal/opt"
+	"github.com/edmac-project/edmac/internal/radio"
+	"github.com/edmac-project/edmac/internal/topology"
+)
+
+// Config describes one simulation run. The parameter vector uses the
+// same coordinates as the corresponding analytic model in
+// internal/macmodel, so an optimized configuration can be replayed in
+// the simulator verbatim.
+type Config struct {
+	// Protocol is "xmac", "dmac" or "lmac".
+	Protocol string
+	// Network is the explicit topology (node 0 is the sink).
+	Network *topology.Network
+	// Radio is the transceiver profile.
+	Radio radio.Radio
+	// Params is the protocol parameter vector (macmodel coordinates).
+	Params opt.Vector
+	// SampleRate is the per-node application rate in packets/second.
+	SampleRate float64
+	// Payload is the application payload in bytes.
+	Payload int
+	// Duration is the simulated time in seconds.
+	Duration float64
+	// Seed drives every random choice; equal seeds reproduce runs
+	// exactly.
+	Seed int64
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	switch c.Protocol {
+	case "xmac", "bmac":
+		if len(c.Params) != 1 {
+			return fmt.Errorf("sim: %s expects 1 parameter (wakeup interval), got %d", c.Protocol, len(c.Params))
+		}
+	case "dmac":
+		if len(c.Params) != 2 {
+			return fmt.Errorf("sim: dmac expects 2 parameters (frame, slot), got %d", len(c.Params))
+		}
+	case "lmac":
+		if len(c.Params) != 2 {
+			return fmt.Errorf("sim: lmac expects 2 parameters (slots, slot length), got %d", len(c.Params))
+		}
+	default:
+		return fmt.Errorf("sim: unknown protocol %q", c.Protocol)
+	}
+	if c.Network == nil {
+		return fmt.Errorf("sim: nil network")
+	}
+	if err := c.Radio.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	for i, p := range c.Params {
+		if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("sim: parameter %d = %v must be positive and finite", i, p)
+		}
+	}
+	if c.SampleRate < 0 {
+		return fmt.Errorf("sim: sample rate %v must be non-negative", c.SampleRate)
+	}
+	if c.Payload <= 0 {
+		return fmt.Errorf("sim: payload %d must be positive", c.Payload)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("sim: duration %v must be positive", c.Duration)
+	}
+	return nil
+}
+
+// Result carries the measured outcomes of a run.
+type Result struct {
+	// Duration is the simulated time.
+	Duration float64
+	// Metrics holds the application-level delivery statistics.
+	Metrics *Metrics
+	// Collisions counts corrupted receptions.
+	Collisions int
+	// Events is the number of simulator events processed.
+	Events uint64
+	// Energy[i] is node i's consumption over the whole run, in joules.
+	Energy []float64
+	// ListenTime[i] is node i's idle-listen + receive time in seconds
+	// (duty-cycle diagnostics).
+	ListenTime []float64
+	// TxTime[i] is node i's transmit time in seconds.
+	TxTime []float64
+}
+
+// DutyCycle returns the fraction of the run node id spent with the
+// radio active (listen, receive or transmit) — the quantity duty-cycled
+// MACs exist to minimize.
+func (r *Result) DutyCycle(id topology.NodeID) float64 {
+	return (r.ListenTime[id] + r.TxTime[id]) / r.Duration
+}
+
+// EnergyPerWindow rescales node id's measured consumption to joules per
+// accounting window, the unit the analytic models report.
+func (r *Result) EnergyPerWindow(id topology.NodeID, window float64) float64 {
+	return r.Energy[id] / r.Duration * window
+}
+
+// MeanRingEnergyPerWindow averages EnergyPerWindow over all nodes of a
+// ring — the quantity to compare against Model.EnergyAt(x, ring).
+func (r *Result) MeanRingEnergyPerWindow(net *topology.Network, ring int, window float64) float64 {
+	ids := net.NodesAtRing(ring)
+	if len(ids) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, id := range ids {
+		sum += r.EnergyPerWindow(id, window)
+	}
+	return sum / float64(len(ids))
+}
+
+// Run executes the configured simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := NewEngine()
+	med := NewMedium(eng, cfg.Network, cfg.Radio)
+	metrics := &Metrics{}
+
+	n := cfg.Network.N()
+	macs := make([]macLayer, n)
+
+	// LMAC needs a global two-hop conflict-free schedule.
+	var slots []int
+	var bySlot map[int]topology.NodeID
+	if cfg.Protocol == "lmac" {
+		frameSlots := int(math.Round(cfg.Params[0]))
+		var err error
+		slots, _, err = cfg.Network.AssignSlots(frameSlots)
+		if err != nil {
+			return nil, fmt.Errorf("sim: lmac schedule: %w", err)
+		}
+		bySlot = make(map[int]topology.NodeID, n)
+		for id, s := range slots {
+			bySlot[s] = topology.NodeID(id)
+		}
+	}
+
+	var nextID int64
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		// Independent per-node streams keep runs reproducible even if
+		// one node's draw count changes.
+		nodeRng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1000003 + 1))
+		nd := newNode(eng, cfg.Network, med, id, nodeRng, metrics, cfg.Payload)
+		var mac macLayer
+		switch cfg.Protocol {
+		case "xmac":
+			mac = newXMACNode(nd, cfg.Params[0])
+		case "bmac":
+			mac = newBMACNode(nd, cfg.Params[0])
+		case "dmac":
+			mac = newDMACNode(nd, cfg.Params[0], cfg.Params[1], cfg.Network.Depth())
+		case "lmac":
+			mac = newLMACNode(nd, int(math.Round(cfg.Params[0])), cfg.Params[1], slots[i], bySlot)
+		}
+		med.Transceiver(id).SetHandler(mac)
+		macs[i] = mac
+	}
+
+	for i, mac := range macs {
+		mac.start()
+		newNodeGenerator(eng, cfg, macs[i], cfg.Network, topology.NodeID(i), metrics, &nextID)
+	}
+
+	eng.Run(cfg.Duration)
+
+	res := &Result{
+		Duration:   cfg.Duration,
+		Metrics:    metrics,
+		Collisions: med.Collisions(),
+		Events:     eng.Processed(),
+		Energy:     make([]float64, n),
+		ListenTime: make([]float64, n),
+		TxTime:     make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		x := med.Transceiver(topology.NodeID(i))
+		x.finish()
+		res.Energy[i] = x.Energy()
+		res.ListenTime[i] = x.TimeIn(radio.Listen) + x.TimeIn(radio.Rx)
+		res.TxTime[i] = x.TimeIn(radio.Tx)
+	}
+	return res, nil
+}
+
+// newNodeGenerator wires the periodic application sampling of one node.
+func newNodeGenerator(eng *Engine, cfg Config, mac macLayer, net *topology.Network,
+	id topology.NodeID, metrics *Metrics, nextID *int64) {
+	if id == 0 || cfg.SampleRate <= 0 {
+		return
+	}
+	period := 1 / cfg.SampleRate
+	genRng := rand.New(rand.NewSource(cfg.Seed ^ (int64(id)*2654435761 + 7)))
+	var tick func()
+	tick = func() {
+		*nextID++
+		p := &Packet{ID: *nextID, Origin: id, Created: eng.Now()}
+		metrics.recordGenerated()
+		mac.sampled(p)
+		eng.After(period, tick)
+	}
+	eng.After(genRng.Float64()*period, tick)
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/edmac-project/edmac/internal/radio"
+	"github.com/edmac-project/edmac/internal/topology"
+)
+
+// xmacPhase is the protocol state of one X-MAC node.
+type xmacPhase int
+
+const (
+	xIdle     xmacPhase = iota // radio asleep between polls
+	xPolling                   // periodic channel check in progress
+	xGap                       // sender: listening for the early ACK between strobes
+	xWaitAck                   // sender: data sent, waiting for the ACK
+	xWaitData                  // receiver: early ACK sent, waiting for the data
+)
+
+// xmacMaxRetries bounds per-packet transmission attempts.
+const xmacMaxRetries = 5
+
+// xmacTrace enables developer tracing in tests.
+var xmacTrace = false
+
+func (m *xmacNode) tracef(format string, args ...interface{}) {
+	if xmacTrace {
+		fmt.Printf("%.6f xmac[%d] phase=%d "+format+"\n",
+			append([]interface{}{m.eng.Now(), int(m.id), int(m.phase)}, args...)...)
+	}
+}
+
+// xmacNode is the packet-level X-MAC implementation: low-power listening
+// with strobed preambles and early ACK, mirroring the analytic model in
+// internal/macmodel.
+type xmacNode struct {
+	*node
+	tw float64 // wakeup interval (the model's decision variable)
+
+	phase   xmacPhase
+	busy    bool // a send or receive procedure is running
+	retries int
+
+	strobeUntil Time
+	peer        topology.NodeID // handshake counterpart
+
+	pollTimer *Timer
+	gapTimer  *Timer
+	dataTimer *Timer
+	ackTimer  *Timer
+
+	pollWindow float64
+	gap        float64
+	turn       float64
+}
+
+func newXMACNode(n *node, tw float64) *xmacNode {
+	x := &xmacNode{node: n, tw: tw}
+	x.turn = n.x.prof.Turnaround
+	// The poll must straddle one full strobe period so a strobe start
+	// always lands inside it.
+	strobe := n.x.Airtime(n.strobeBytes)
+	ackAir := n.x.Airtime(n.ackBytes)
+	x.gap = ackAir + 2*x.turn + n.x.prof.CCA
+	x.pollWindow = strobe + x.gap + 2*n.x.prof.CCA
+	return x
+}
+
+// start implements macLayer.
+func (m *xmacNode) start() {
+	m.x.Sleep()
+	m.eng.After(m.rng.Float64()*m.tw, m.poll)
+}
+
+// sampled implements macLayer.
+func (m *xmacNode) sampled(p *Packet) {
+	m.push(p)
+	if !m.busy {
+		m.attemptSend()
+	}
+}
+
+// poll is the periodic channel check.
+func (m *xmacNode) poll() {
+	m.eng.After(m.tw, m.poll)
+	m.tracef("poll busy=%v", m.busy)
+	if m.busy {
+		return
+	}
+	m.x.Listen()
+	m.phase = xPolling
+	m.busy = true
+	m.pollTimer = m.eng.After(m.pollWindow, m.pollExpired)
+}
+
+// pollExpired closes the poll unless a reception is still in flight.
+func (m *xmacNode) pollExpired() {
+	m.tracef("pollExpired state=%v", m.x.State())
+	if m.phase != xPolling {
+		return
+	}
+	if m.x.State() == radio.Rx || m.x.CarrierBusy() {
+		// Mid-frame: extend until the frame resolves.
+		m.pollTimer = m.eng.After(m.x.Airtime(m.dataBytes), m.pollExpired)
+		return
+	}
+	m.finishProcedure()
+	m.maybeSend()
+}
+
+// finishProcedure cancels every pending protocol timer and returns the
+// node to its idle sleeping state.
+func (m *xmacNode) finishProcedure() {
+	m.pollTimer.Cancel()
+	m.gapTimer.Cancel()
+	m.dataTimer.Cancel()
+	m.ackTimer.Cancel()
+	m.phase = xIdle
+	m.busy = false
+	m.x.Sleep()
+}
+
+// maybeSend kicks the sender when traffic is pending.
+func (m *xmacNode) maybeSend() {
+	if !m.busy && m.head() != nil {
+		m.attemptSend()
+	}
+}
+
+// attemptSend begins the strobe procedure for the head-of-queue packet.
+func (m *xmacNode) attemptSend() {
+	m.tracef("attemptSend busy=%v qlen=%d", m.busy, len(m.queue))
+	if m.busy || m.head() == nil || m.isSink() {
+		return
+	}
+	m.busy = true
+	m.x.Listen()
+	if m.x.CarrierBusy() {
+		// Channel occupied: back off within half a wakeup interval.
+		m.busy = false
+		m.x.Sleep()
+		m.eng.After(m.rng.Float64()*m.tw/2, m.attemptSend)
+		return
+	}
+	m.peer = m.parent
+	m.strobeUntil = m.eng.Now() + m.tw + 2*(m.x.Airtime(m.strobeBytes)+m.gap)
+	m.sendStrobe()
+}
+
+func (m *xmacNode) sendStrobe() {
+	m.tracef("sendStrobe")
+	m.phase = xGap // the gap follows the strobe's OnTxDone
+	m.x.Send(&Frame{Kind: FrameStrobe, Src: m.id, Dst: m.peer, Bytes: m.strobeBytes})
+}
+
+// gapExpired fires when no early ACK arrived within the inter-strobe gap.
+func (m *xmacNode) gapExpired() {
+	m.tracef("gapExpired")
+	if m.phase != xGap {
+		return
+	}
+	if m.eng.Now() < m.strobeUntil {
+		m.sendStrobe()
+		return
+	}
+	// Strobed a full wakeup interval: the receiver must be awake now.
+	m.sendData()
+}
+
+func (m *xmacNode) sendData() {
+	m.tracef("sendData")
+	m.gapTimer.Cancel()
+	m.phase = xWaitAck
+	m.x.Send(&Frame{Kind: FrameData, Src: m.id, Dst: m.peer, Bytes: m.dataBytes, Packet: m.head()})
+}
+
+// ackExpired fires when the data ACK never came.
+func (m *xmacNode) ackExpired() {
+	m.tracef("ackExpired retries=%d", m.retries)
+	if m.phase != xWaitAck {
+		return
+	}
+	m.retries++
+	if m.retries > xmacMaxRetries {
+		m.pop()
+		m.metrics.recordDropped()
+		m.retries = 0
+	}
+	m.finishProcedure()
+	m.eng.After(m.rng.Float64()*m.tw, m.maybeSend)
+}
+
+// OnTxDone implements FrameHandler.
+func (m *xmacNode) OnTxDone(f *Frame) {
+	m.tracef("OnTxDone %v", f.Kind)
+	switch f.Kind {
+	case FrameStrobe:
+		m.gapTimer = m.eng.After(m.gap, m.gapExpired)
+	case FrameData:
+		ackWait := m.turn + m.x.Airtime(m.ackBytes) + m.turn + m.x.prof.CCA
+		m.ackTimer = m.eng.After(ackWait, m.ackExpired)
+	case FrameStrobeAck:
+		// Receiver: now expect the data frame.
+		m.phase = xWaitData
+		wait := m.x.Airtime(m.strobeBytes) + m.gap + m.x.Airtime(m.dataBytes) + 4*m.turn
+		m.dataTimer = m.eng.After(wait, m.dataExpired)
+	case FrameAck:
+		// Receiver handshake complete.
+		m.finishProcedure()
+		m.maybeSend()
+	}
+}
+
+// dataExpired fires when the announced data frame never arrived.
+func (m *xmacNode) dataExpired() {
+	if m.phase != xWaitData {
+		return
+	}
+	m.finishProcedure()
+	m.maybeSend()
+}
+
+// OnFrame implements FrameHandler.
+func (m *xmacNode) OnFrame(f *Frame) {
+	m.tracef("OnFrame %v src=%d dst=%d", f.Kind, int(f.Src), int(f.Dst))
+	switch m.phase {
+	case xPolling:
+		if f.Kind == FrameStrobe && f.Dst == m.id {
+			// Addressed strobe: become the receiver, send the early ACK.
+			m.pollTimer.Cancel()
+			m.peer = f.Src
+			m.phase = xWaitData // refined after the strobe-ACK's OnTxDone
+			m.eng.After(m.turn, func() {
+				m.x.Send(&Frame{Kind: FrameStrobeAck, Src: m.id, Dst: f.Src, Bytes: m.ackBytes})
+			})
+			return
+		}
+		// Foreign traffic: the address in the strobe lets us sleep at
+		// once — X-MAC's cheap overhearing.
+		m.pollTimer.Cancel()
+		m.finishProcedure()
+	case xGap:
+		if f.Kind == FrameStrobeAck && f.Dst == m.id {
+			m.sendData()
+		}
+	case xWaitData:
+		if f.Kind == FrameData && f.Dst == m.id {
+			m.dataTimer.Cancel()
+			pkt := f.Packet
+			m.eng.After(m.turn, func() {
+				m.x.Send(&Frame{Kind: FrameAck, Src: m.id, Dst: f.Src, Bytes: m.ackBytes})
+			})
+			m.accept(pkt)
+		}
+	case xWaitAck:
+		if f.Kind == FrameAck && f.Dst == m.id {
+			m.ackTimer.Cancel()
+			m.pop()
+			m.retries = 0
+			m.finishProcedure()
+			m.maybeSend()
+		}
+	}
+}
+
+var _ macLayer = (*xmacNode)(nil)

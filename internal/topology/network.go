@@ -1,0 +1,240 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node within one Network. The sink always has ID 0.
+type NodeID int
+
+// Point is a position on the plane, in units of the radio range.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Network is an explicit unit-disk-graph network with a designated sink
+// and a shortest-path routing tree. Networks are immutable after New.
+type Network struct {
+	pos      []Point
+	radioRng float64
+	adj      [][]NodeID
+	parent   []NodeID
+	ring     []int
+	children [][]NodeID
+	subtree  []int
+	depth    int
+}
+
+// New builds a network from node positions. positions[0] is the sink.
+// Two nodes are neighbours when their distance is at most radioRange.
+// The routing tree is the breadth-first shortest-path tree rooted at the
+// sink, with ties broken toward the lowest neighbour ID so that repeated
+// builds are deterministic. New fails if the graph is disconnected.
+func New(positions []Point, radioRange float64) (*Network, error) {
+	if len(positions) < 2 {
+		return nil, fmt.Errorf("topology: need at least a sink and one node, got %d positions", len(positions))
+	}
+	if radioRange <= 0 {
+		return nil, fmt.Errorf("topology: radio range %v must be positive", radioRange)
+	}
+	n := len(positions)
+	net := &Network{
+		pos:      append([]Point(nil), positions...),
+		radioRng: radioRange,
+		adj:      make([][]NodeID, n),
+		parent:   make([]NodeID, n),
+		ring:     make([]int, n),
+		children: make([][]NodeID, n),
+		subtree:  make([]int, n),
+	}
+	net.buildAdjacency()
+	if err := net.buildTree(); err != nil {
+		return nil, err
+	}
+	net.buildSubtrees()
+	return net, nil
+}
+
+// buildAdjacency links every pair of nodes within radio range, using grid
+// binning so that large networks do not pay the full O(n²) scan.
+func (net *Network) buildAdjacency() {
+	type cell struct{ cx, cy int }
+	bins := make(map[cell][]NodeID, len(net.pos))
+	r := net.radioRng
+	key := func(p Point) cell {
+		return cell{int(math.Floor(p.X / r)), int(math.Floor(p.Y / r))}
+	}
+	for i, p := range net.pos {
+		bins[key(p)] = append(bins[key(p)], NodeID(i))
+	}
+	for i, p := range net.pos {
+		c := key(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bins[cell{c.cx + dx, c.cy + dy}] {
+					if int(j) <= i {
+						continue
+					}
+					if p.Dist(net.pos[j]) <= r {
+						net.adj[i] = append(net.adj[i], j)
+						net.adj[j] = append(net.adj[j], NodeID(i))
+					}
+				}
+			}
+		}
+	}
+	for i := range net.adj {
+		ids := net.adj[i]
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	}
+}
+
+// buildTree runs a BFS from the sink, assigning rings (hop counts) and
+// parents. It fails if any node is unreachable.
+func (net *Network) buildTree() error {
+	n := len(net.pos)
+	for i := range net.ring {
+		net.ring[i] = -1
+		net.parent[i] = -1
+	}
+	net.ring[0] = 0
+	queue := []NodeID{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range net.adj[u] {
+			if net.ring[v] != -1 {
+				continue
+			}
+			net.ring[v] = net.ring[u] + 1
+			net.parent[v] = u
+			queue = append(queue, v)
+			if net.ring[v] > net.depth {
+				net.depth = net.ring[v]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if net.ring[i] == -1 {
+			return fmt.Errorf("topology: node %d is not connected to the sink", i)
+		}
+	}
+	for i := 1; i < n; i++ {
+		p := net.parent[i]
+		net.children[p] = append(net.children[p], NodeID(i))
+	}
+	return nil
+}
+
+// buildSubtrees computes routing-subtree sizes (the node itself plus all
+// descendants) by scanning nodes in decreasing ring order.
+func (net *Network) buildSubtrees() {
+	order := make([]NodeID, len(net.pos))
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return net.ring[order[a]] > net.ring[order[b]] })
+	for i := range net.subtree {
+		net.subtree[i] = 1
+	}
+	for _, id := range order {
+		if p := net.parent[id]; p >= 0 {
+			net.subtree[p] += net.subtree[id]
+		}
+	}
+}
+
+// N returns the number of nodes including the sink.
+func (net *Network) N() int { return len(net.pos) }
+
+// RadioRange returns the unit-disk radius the network was built with.
+func (net *Network) RadioRange() float64 { return net.radioRng }
+
+// Depth returns the maximum ring (hop count) in the network.
+func (net *Network) Depth() int { return net.depth }
+
+// Position returns the location of node id.
+func (net *Network) Position(id NodeID) Point { return net.pos[id] }
+
+// Ring returns the hop distance of id from the sink (0 for the sink).
+func (net *Network) Ring(id NodeID) int { return net.ring[id] }
+
+// Parent returns the routing-tree parent of id, or -1 for the sink.
+func (net *Network) Parent(id NodeID) NodeID { return net.parent[id] }
+
+// Degree returns the number of neighbours of id.
+func (net *Network) Degree(id NodeID) int { return len(net.adj[id]) }
+
+// Neighbors returns a copy of the neighbour list of id, sorted by ID.
+func (net *Network) Neighbors(id NodeID) []NodeID {
+	return append([]NodeID(nil), net.adj[id]...)
+}
+
+// Children returns a copy of the routing-tree children of id.
+func (net *Network) Children(id NodeID) []NodeID {
+	return append([]NodeID(nil), net.children[id]...)
+}
+
+// SubtreeSize returns the number of nodes in the routing subtree rooted
+// at id, counting id itself.
+func (net *Network) SubtreeSize(id NodeID) int { return net.subtree[id] }
+
+// PathToSink returns the routing path from id to the sink, inclusive of
+// both endpoints.
+func (net *Network) PathToSink(id NodeID) []NodeID {
+	path := []NodeID{id}
+	for id != 0 {
+		id = net.parent[id]
+		path = append(path, id)
+	}
+	return path
+}
+
+// NodesAtRing returns the IDs of all nodes at ring d, sorted.
+func (net *Network) NodesAtRing(d int) []NodeID {
+	var ids []NodeID
+	for i := range net.pos {
+		if net.ring[i] == d {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	return ids
+}
+
+// TwoHopNeighbors returns the set of nodes within two hops of id
+// (excluding id itself), sorted by ID.
+func (net *Network) TwoHopNeighbors(id NodeID) []NodeID {
+	seen := map[NodeID]bool{id: true}
+	var out []NodeID
+	for _, v := range net.adj[id] {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+		for _, w := range net.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// MeanDegree returns the average node degree, an empirical estimate of
+// the density parameter C of the ring model.
+func (net *Network) MeanDegree() float64 {
+	total := 0
+	for i := range net.adj {
+		total += len(net.adj[i])
+	}
+	return float64(total) / float64(len(net.adj))
+}

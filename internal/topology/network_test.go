@@ -1,0 +1,204 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New([]Point{{0, 0}}, 1.0); err == nil {
+		t.Error("New with a single position should fail")
+	}
+	if _, err := New([]Point{{0, 0}, {0.5, 0}}, 0); err == nil {
+		t.Error("New with zero range should fail")
+	}
+	if _, err := New([]Point{{0, 0}, {5, 0}}, 1.0); err == nil {
+		t.Error("New with a disconnected node should fail")
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	net, err := Line(5, 0.8)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	if got, want := net.N(), 6; got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	if got, want := net.Depth(), 5; got != want {
+		t.Errorf("Depth = %d, want %d", got, want)
+	}
+	for i := 1; i <= 5; i++ {
+		id := NodeID(i)
+		if got, want := net.Ring(id), i; got != want {
+			t.Errorf("Ring(%d) = %d, want %d", id, got, want)
+		}
+		if got, want := net.Parent(id), NodeID(i-1); got != want {
+			t.Errorf("Parent(%d) = %d, want %d", id, got, want)
+		}
+		if got, want := net.SubtreeSize(id), 6-i; got != want {
+			t.Errorf("SubtreeSize(%d) = %d, want %d", id, got, want)
+		}
+	}
+	path := net.PathToSink(5)
+	want := []NodeID{5, 4, 3, 2, 1, 0}
+	if len(path) != len(want) {
+		t.Fatalf("PathToSink(5) = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("PathToSink(5) = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestRingsPlacementMatchesModel(t *testing.T) {
+	m := RingModel{Depth: 4, Density: 5}
+	net, err := Rings(m)
+	if err != nil {
+		t.Fatalf("Rings: %v", err)
+	}
+	if got, want := net.N(), m.Total()+1; got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	if got, want := net.Depth(), m.Depth; got != want {
+		t.Errorf("Depth = %d, want %d", got, want)
+	}
+	for d := 1; d <= m.Depth; d++ {
+		if got, want := len(net.NodesAtRing(d)), m.NodesAt(d); got != want {
+			t.Errorf("ring %d population = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestDiskDeterministicForSeed(t *testing.T) {
+	a, err := Disk(60, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Disk: %v", err)
+	}
+	b, err := Disk(60, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Disk: %v", err)
+	}
+	if a.N() != b.N() {
+		t.Fatalf("sizes differ: %d vs %d", a.N(), b.N())
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Position(NodeID(i)) != b.Position(NodeID(i)) {
+			t.Fatalf("node %d position differs between same-seed builds", i)
+		}
+	}
+}
+
+func TestDiskInvariants(t *testing.T) {
+	net, err := Disk(80, 3, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatalf("Disk: %v", err)
+	}
+	if net.Ring(0) != 0 {
+		t.Errorf("sink ring = %d, want 0", net.Ring(0))
+	}
+	for i := 1; i < net.N(); i++ {
+		id := NodeID(i)
+		p := net.Parent(id)
+		if p < 0 {
+			t.Fatalf("node %d has no parent", id)
+		}
+		if net.Ring(p) != net.Ring(id)-1 {
+			t.Errorf("parent of ring-%d node %d is at ring %d", net.Ring(id), id, net.Ring(p))
+		}
+		if net.Position(id).Dist(net.Position(p)) > net.RadioRange()+1e-12 {
+			t.Errorf("node %d parent link longer than radio range", id)
+		}
+	}
+	// Subtree sizes: the sink's subtree covers everything, and sizes sum
+	// consistently along the tree.
+	if got, want := net.SubtreeSize(0), net.N(); got != want {
+		t.Errorf("sink subtree = %d, want %d", got, want)
+	}
+	for i := 0; i < net.N(); i++ {
+		id := NodeID(i)
+		sum := 1
+		for _, c := range net.Children(id) {
+			sum += net.SubtreeSize(c)
+		}
+		if sum != net.SubtreeSize(id) {
+			t.Errorf("node %d subtree %d != 1 + children sum %d", id, net.SubtreeSize(id), sum)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	net, err := Grid(4, 3, 1.0)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if got, want := net.N(), 12; got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	// Corner sink: opposite corner is (w-1)+(h-1) hops away.
+	if got, want := net.Depth(), 5; got != want {
+		t.Errorf("Depth = %d, want %d", got, want)
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	if _, err := Line(0, 0.5); err == nil {
+		t.Error("Line(0, ...) should fail")
+	}
+	if _, err := Line(3, 1.5); err == nil {
+		t.Error("Line with spacing > 1 should fail")
+	}
+	if _, err := Grid(0, 3, 0.5); err == nil {
+		t.Error("Grid(0, ...) should fail")
+	}
+	if _, err := Disk(0, 3, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Disk(0, ...) should fail")
+	}
+	if _, err := Disk(5, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Disk with negative radius should fail")
+	}
+}
+
+func TestNeighborsReturnsCopy(t *testing.T) {
+	net, err := Line(3, 0.8)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	nbs := net.Neighbors(1)
+	if len(nbs) == 0 {
+		t.Fatal("node 1 should have neighbours")
+	}
+	nbs[0] = 999
+	if net.Neighbors(1)[0] == 999 {
+		t.Error("Neighbors exposes internal state")
+	}
+}
+
+func TestTwoHopNeighbors(t *testing.T) {
+	net, err := Line(5, 0.8)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	got := net.TwoHopNeighbors(2)
+	want := []NodeID{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("TwoHopNeighbors(2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TwoHopNeighbors(2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMeanDegreeOnLine(t *testing.T) {
+	net, err := Line(4, 0.8)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	// Chain of 5 nodes: degrees 1,2,2,2,1 → mean 8/5.
+	if got, want := net.MeanDegree(), 8.0/5.0; got != want {
+		t.Errorf("MeanDegree = %v, want %v", got, want)
+	}
+}

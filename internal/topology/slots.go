@@ -1,0 +1,78 @@
+package topology
+
+import "fmt"
+
+// AssignSlots computes a TDMA slot assignment in which no two nodes
+// within two hops of each other share a slot — the steady state LMAC's
+// distributed slot-claiming converges to. It greedily colours nodes in
+// BFS order (deterministic) and returns one slot index per node plus the
+// number of distinct slots used.
+//
+// frameSlots caps the schedule: if more slots are needed than the frame
+// provides, AssignSlots returns an error naming the shortfall, which the
+// caller surfaces as an LMAC feasibility violation.
+func (net *Network) AssignSlots(frameSlots int) ([]int, int, error) {
+	if frameSlots < 1 {
+		return nil, 0, fmt.Errorf("topology: frame must have at least 1 slot, got %d", frameSlots)
+	}
+	n := net.N()
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = -1
+	}
+	// BFS order: sink first, then ring by ring, by ID inside a ring.
+	order := make([]NodeID, 0, n)
+	for d := 0; d <= net.Depth(); d++ {
+		order = append(order, net.NodesAtRing(d)...)
+	}
+	used := 0
+	taken := make([]bool, frameSlots)
+	for _, id := range order {
+		for i := range taken {
+			taken[i] = false
+		}
+		for _, nb := range net.TwoHopNeighbors(id) {
+			if s := slots[nb]; s >= 0 {
+				taken[s] = true
+			}
+		}
+		slot := -1
+		for s := 0; s < frameSlots; s++ {
+			if !taken[s] {
+				slot = s
+				break
+			}
+		}
+		if slot < 0 {
+			return nil, 0, fmt.Errorf("topology: node %d has no free slot in a %d-slot frame (2-hop neighbourhood too dense)", id, frameSlots)
+		}
+		slots[id] = slot
+		if slot+1 > used {
+			used = slot + 1
+		}
+	}
+	return slots, used, nil
+}
+
+// MinSlots returns the smallest frame size for which AssignSlots
+// succeeds, probing by doubling then binary search. It is a topology
+// property used to lower-bound LMAC's Nslots parameter.
+func (net *Network) MinSlots() int {
+	lo, hi := 1, 2
+	for {
+		if _, _, err := net.AssignSlots(hi); err == nil {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, _, err := net.AssignSlots(mid); err == nil {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}

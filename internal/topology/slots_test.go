@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAssignSlotsLine(t *testing.T) {
+	net, err := Line(6, 0.8)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	slots, used, err := net.AssignSlots(8)
+	if err != nil {
+		t.Fatalf("AssignSlots: %v", err)
+	}
+	if used > 3 {
+		t.Errorf("a chain needs at most 3 slots, used %d", used)
+	}
+	checkTwoHopConflictFree(t, net, slots)
+}
+
+func TestAssignSlotsRings(t *testing.T) {
+	net, err := Rings(RingModel{Depth: 3, Density: 4})
+	if err != nil {
+		t.Fatalf("Rings: %v", err)
+	}
+	slots, used, err := net.AssignSlots(64)
+	if err != nil {
+		t.Fatalf("AssignSlots: %v", err)
+	}
+	if used < 2 {
+		t.Errorf("dense network cannot be scheduled with %d slots", used)
+	}
+	checkTwoHopConflictFree(t, net, slots)
+}
+
+func TestAssignSlotsTooFewSlots(t *testing.T) {
+	net, err := Rings(RingModel{Depth: 3, Density: 4})
+	if err != nil {
+		t.Fatalf("Rings: %v", err)
+	}
+	if _, _, err := net.AssignSlots(2); err == nil {
+		t.Error("AssignSlots(2) on a dense network should fail")
+	}
+	if _, _, err := net.AssignSlots(0); err == nil {
+		t.Error("AssignSlots(0) should fail")
+	}
+}
+
+func TestMinSlots(t *testing.T) {
+	net, err := Disk(50, 3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("Disk: %v", err)
+	}
+	min := net.MinSlots()
+	if _, _, err := net.AssignSlots(min); err != nil {
+		t.Errorf("AssignSlots(MinSlots=%d) failed: %v", min, err)
+	}
+	if min > 1 {
+		if _, _, err := net.AssignSlots(min - 1); err == nil {
+			t.Errorf("AssignSlots(MinSlots-1=%d) unexpectedly succeeded", min-1)
+		}
+	}
+}
+
+func checkTwoHopConflictFree(t *testing.T, net *Network, slots []int) {
+	t.Helper()
+	for i := 0; i < net.N(); i++ {
+		id := NodeID(i)
+		for _, nb := range net.TwoHopNeighbors(id) {
+			if slots[id] == slots[nb] {
+				t.Fatalf("nodes %d and %d within two hops share slot %d", id, nb, slots[id])
+			}
+		}
+	}
+}

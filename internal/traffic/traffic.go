@@ -1,0 +1,123 @@
+// Package traffic derives the per-node traffic rates that drive the
+// analytic MAC models: how many packets per second a node generates,
+// relays, receives, and overhears, given periodic sampling at every node
+// and convergecast routing toward the sink.
+//
+// Two variants are provided. RingFlows is the closed-form ring
+// approximation of Langendoen & Meier that the paper's models are built
+// on; NodeFlows computes the exact per-node rates on an explicit
+// topology.Network, which the simulator and validation tests use.
+package traffic
+
+import (
+	"fmt"
+
+	"github.com/edmac-project/edmac/internal/topology"
+)
+
+// RingFlows yields the analytic per-node traffic rates of the ring model:
+// every node samples at Rate packets per second and forwards its routing
+// descendants' packets toward the sink.
+type RingFlows struct {
+	// Rings is the analytic topology.
+	Rings topology.RingModel
+	// Rate is the application sampling rate Fs in packets per second per
+	// node.
+	Rate float64
+}
+
+// Validate reports whether the flow parameters are usable.
+func (f RingFlows) Validate() error {
+	if err := f.Rings.Validate(); err != nil {
+		return err
+	}
+	if f.Rate <= 0 {
+		return fmt.Errorf("traffic: sampling rate %v must be positive", f.Rate)
+	}
+	return nil
+}
+
+// Out returns the transmit rate of a ring-d node in packets per second:
+// its own samples plus everything it relays.
+func (f RingFlows) Out(d int) float64 {
+	if d < 1 || d > f.Rings.Depth {
+		return 0
+	}
+	return f.Rate * (1 + f.Rings.Descendants(d))
+}
+
+// In returns the receive rate of a ring-d node in packets per second:
+// the traffic arriving from its routing children.
+func (f RingFlows) In(d int) float64 {
+	if d < 1 || d > f.Rings.Depth {
+		return 0
+	}
+	return f.Out(d) - f.Rate
+}
+
+// Background returns the overheard rate of a ring-d node in packets per
+// second: transmissions within radio range that are not addressed to it.
+// The ring approximation takes the node's C neighbours to carry the same
+// load as the node itself and subtracts the packets the node must
+// actually receive.
+func (f RingFlows) Background(d int) float64 {
+	if d < 1 || d > f.Rings.Depth {
+		return 0
+	}
+	b := float64(f.Rings.Density)*f.Out(d) - f.In(d)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Bottleneck returns the ring with the highest transmit load, which under
+// convergecast is always ring 1.
+func (f RingFlows) Bottleneck() int { return 1 }
+
+// NodeFlows holds exact per-node rates for an explicit network, indexed
+// by topology.NodeID. The sink (ID 0) neither samples nor transmits.
+type NodeFlows struct {
+	// Out[i] is node i's transmit rate in packets per second.
+	Out []float64
+	// In[i] is node i's receive rate (packets addressed to it).
+	In []float64
+	// Background[i] is node i's overheard rate.
+	Background []float64
+}
+
+// Compute derives exact per-node rates on net with sampling rate fs.
+func Compute(net *topology.Network, fs float64) (NodeFlows, error) {
+	if net == nil {
+		return NodeFlows{}, fmt.Errorf("traffic: nil network")
+	}
+	if fs <= 0 {
+		return NodeFlows{}, fmt.Errorf("traffic: sampling rate %v must be positive", fs)
+	}
+	n := net.N()
+	flows := NodeFlows{
+		Out:        make([]float64, n),
+		In:         make([]float64, n),
+		Background: make([]float64, n),
+	}
+	for i := 1; i < n; i++ {
+		id := topology.NodeID(i)
+		flows.Out[i] = fs * float64(net.SubtreeSize(id))
+		flows.In[i] = flows.Out[i] - fs
+	}
+	// The sink receives everything and sends nothing.
+	flows.In[0] = fs * float64(n-1)
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		heard := 0.0
+		for _, nb := range net.Neighbors(id) {
+			heard += flows.Out[nb]
+		}
+		b := heard - flows.In[i]
+		if b < 0 {
+			b = 0
+		}
+		flows.Background[i] = b
+	}
+	return flows, nil
+}

@@ -1,0 +1,165 @@
+package edmac
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edmac-project/edmac/internal/macmodel"
+	"github.com/edmac-project/edmac/internal/sim"
+	"github.com/edmac-project/edmac/internal/topology"
+)
+
+// SimOptions configure a packet-level simulation run.
+type SimOptions struct {
+	// Duration is the simulated time in seconds (default 1800).
+	Duration float64
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed int64
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.Duration <= 0 {
+		o.Duration = 1800
+	}
+	return o
+}
+
+// SimReport carries the measured outcomes of a simulation run.
+type SimReport struct {
+	// Protocol and Params echo the configuration.
+	Protocol Protocol
+	Params   []float64
+	// Duration is the simulated seconds.
+	Duration float64
+	// Nodes is the network size including the sink.
+	Nodes int
+	// Generated, Delivered, Dropped count application packets;
+	// Collisions counts corrupted receptions.
+	Generated  int
+	Delivered  int
+	Dropped    int
+	Collisions int
+	// DeliveryRatio is Delivered/Generated.
+	DeliveryRatio float64
+	// MeanDelay, MaxDelay and P95Delay summarize end-to-end delays in
+	// seconds across all delivered packets.
+	MeanDelay float64
+	MaxDelay  float64
+	P95Delay  float64
+	// OuterRingDelay is the mean delay of packets originating at the
+	// outermost ring — the analytic models' reference.
+	OuterRingDelay float64
+	// BottleneckEnergy is the mean measured energy per accounting window
+	// of ring-1 nodes, in joules — comparable to Result energies.
+	BottleneckEnergy float64
+}
+
+// Simulate replays a protocol configuration at packet level on the
+// deterministic ring placement of the scenario and reports measured
+// delivery, delay and energy. SCPMAC has no simulator implementation
+// (its clock-drift machinery is modelled analytically only) and is
+// rejected.
+func Simulate(p Protocol, s Scenario, params []float64, o SimOptions) (SimReport, error) {
+	if p == SCPMAC {
+		return SimReport{}, fmt.Errorf("edmac: scpmac is analytic-only; simulate xmac, bmac, dmac or lmac")
+	}
+	o = o.withDefaults()
+	env, err := s.env()
+	if err != nil {
+		return SimReport{}, err
+	}
+	m, err := macmodel.New(string(p), env)
+	if err != nil {
+		return SimReport{}, err
+	}
+	x, err := vec(m, params)
+	if err != nil {
+		return SimReport{}, err
+	}
+	net, err := topology.Rings(env.Rings)
+	if err != nil {
+		return SimReport{}, err
+	}
+	res, err := sim.Run(sim.Config{
+		Protocol:   string(p),
+		Network:    net,
+		Radio:      env.Radio,
+		Params:     x,
+		SampleRate: env.SampleRate,
+		Payload:    env.Payload,
+		Duration:   o.Duration,
+		Seed:       o.Seed,
+	})
+	if err != nil {
+		return SimReport{}, err
+	}
+	outer := env.Rings.Depth
+	return SimReport{
+		Protocol:      p,
+		Params:        append([]float64(nil), params...),
+		Duration:      o.Duration,
+		Nodes:         net.N(),
+		Generated:     res.Metrics.Generated(),
+		Delivered:     res.Metrics.Delivered(),
+		Dropped:       res.Metrics.Dropped(),
+		Collisions:    res.Collisions,
+		DeliveryRatio: res.Metrics.DeliveryRatio(),
+		MeanDelay:     res.Metrics.MeanDelay(),
+		MaxDelay:      res.Metrics.MaxDelay(),
+		P95Delay:      res.Metrics.QuantileDelay(0.95),
+		OuterRingDelay: res.Metrics.MeanDelayFrom(func(id topology.NodeID) bool {
+			return net.Ring(id) == outer
+		}),
+		BottleneckEnergy: res.MeanRingEnergyPerWindow(net, 1, env.Window),
+	}, nil
+}
+
+// ValidationReport contrasts the analytic model with the simulator at
+// one parameter vector.
+type ValidationReport struct {
+	SimReport
+	// AnalyticEnergy and AnalyticDelay are the model's predictions.
+	AnalyticEnergy float64
+	AnalyticDelay  float64
+	// EnergyRatio and DelayRatio are measured/predicted (NaN when the
+	// measurement is unusable, e.g. nothing was delivered).
+	EnergyRatio float64
+	DelayRatio  float64
+}
+
+// Validate simulates a configuration and reports measured-vs-analytic
+// energy and delay — the per-experiment evidence of EXPERIMENTS.md.
+func Validate(p Protocol, s Scenario, params []float64, o SimOptions) (ValidationReport, error) {
+	rep, err := Simulate(p, s, params, o)
+	if err != nil {
+		return ValidationReport{}, err
+	}
+	energy, delay, err := Evaluate(p, s, params)
+	if err != nil {
+		// The configuration may sit outside the admissible box (e.g. a
+		// deliberately extreme what-if); fall back to raw evaluation.
+		m, merr := s.model(p)
+		if merr != nil {
+			return ValidationReport{}, merr
+		}
+		x, verr := vec(m, params)
+		if verr != nil {
+			return ValidationReport{}, verr
+		}
+		energy, delay = m.Energy(x), m.Delay(x)
+	}
+	out := ValidationReport{
+		SimReport:      rep,
+		AnalyticEnergy: energy,
+		AnalyticDelay:  delay,
+		EnergyRatio:    math.NaN(),
+		DelayRatio:     math.NaN(),
+	}
+	if rep.BottleneckEnergy > 0 {
+		out.EnergyRatio = rep.BottleneckEnergy / energy
+	}
+	if !math.IsNaN(rep.OuterRingDelay) {
+		out.DelayRatio = rep.OuterRingDelay / delay
+	}
+	return out, nil
+}
