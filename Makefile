@@ -1,0 +1,29 @@
+# Developer entry points. `make bench` refreshes the "current" entry of
+# BENCH_results.json so the perf trajectory of the figure and simulator
+# benchmarks is tracked across PRs; the "seed-baseline" entry records the
+# seed repo and is never overwritten by it.
+
+GO        ?= go
+BENCH     ?= Figure|Frontier|Sweep|SimValidation|SimulatorEventRate|SimulateBatch
+BENCHTIME ?= 1s
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \
+	  | $(GO) run ./tools/benchjson -o BENCH_results.json -label current \
+	      -note "make bench ($(BENCH), $(BENCHTIME))"

@@ -1,0 +1,130 @@
+package edmac_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+// batchScenario is small enough that a table of runs finishes quickly.
+func batchScenario() edmac.Scenario {
+	return edmac.Scenario{
+		Depth: 3, Density: 4, SampleInterval: 120, Window: 60, Payload: 32, Radio: "cc2420",
+	}
+}
+
+// simParams maps each simulable protocol to a runnable parameter vector.
+var simParams = map[edmac.Protocol][]float64{
+	edmac.XMAC: {0.25},
+	edmac.BMAC: {0.25},
+	edmac.DMAC: {2.0, 0.05},
+	edmac.LMAC: {15, 0.05},
+}
+
+// SimulateBatch must reproduce sequential Simulate calls byte for byte,
+// across every simulable protocol and several seeds.
+func TestSimulateBatchMatchesSequential(t *testing.T) {
+	s := batchScenario()
+	var runs []edmac.BatchRun
+	for _, p := range []edmac.Protocol{edmac.XMAC, edmac.BMAC, edmac.DMAC, edmac.LMAC} {
+		for seed := int64(1); seed <= 2; seed++ {
+			runs = append(runs, edmac.BatchRun{
+				Protocol: p,
+				Params:   simParams[p],
+				Options:  edmac.SimOptions{Duration: 300, Seed: seed},
+			})
+		}
+	}
+	outcomes := edmac.SimulateBatch(context.Background(), s, runs, 4)
+	if len(outcomes) != len(runs) {
+		t.Fatalf("got %d outcomes, want %d", len(outcomes), len(runs))
+	}
+	for i, out := range outcomes {
+		if out.Err != nil {
+			t.Fatalf("run %d (%s): %v", i, runs[i].Protocol, out.Err)
+		}
+		want, err := edmac.Simulate(runs[i].Protocol, s, runs[i].Params, runs[i].Options)
+		if err != nil {
+			t.Fatalf("sequential run %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, out.Report) {
+			t.Errorf("run %d (%s seed %d): batch report differs from sequential\nwant %+v\ngot  %+v",
+				i, runs[i].Protocol, runs[i].Options.Seed, want, out.Report)
+		}
+	}
+}
+
+func TestSimulateSeeds(t *testing.T) {
+	s := batchScenario()
+	seeds := []int64{3, 5, 8}
+	outcomes := edmac.SimulateSeeds(context.Background(), edmac.XMAC, s, []float64{0.25},
+		edmac.SimOptions{Duration: 300}, seeds, 2)
+	if len(outcomes) != len(seeds) {
+		t.Fatalf("got %d outcomes, want %d", len(outcomes), len(seeds))
+	}
+	for i, out := range outcomes {
+		if out.Err != nil {
+			t.Fatalf("seed %d: %v", seeds[i], out.Err)
+		}
+		if out.Run.Options.Seed != seeds[i] {
+			t.Errorf("outcome %d ran seed %d, want %d", i, out.Run.Options.Seed, seeds[i])
+		}
+	}
+	// Distinct seeds must explore distinct sample phases.
+	if reflect.DeepEqual(outcomes[0].Report, outcomes[1].Report) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+func TestSimulateBatchRejectsSCPMAC(t *testing.T) {
+	s := batchScenario()
+	outcomes := edmac.SimulateBatch(context.Background(), s, []edmac.BatchRun{
+		{Protocol: edmac.SCPMAC, Params: []float64{1, 0.01}, Options: edmac.SimOptions{Duration: 60}},
+		{Protocol: edmac.XMAC, Params: []float64{0.25}, Options: edmac.SimOptions{Duration: 60}},
+	}, 2)
+	if outcomes[0].Err == nil {
+		t.Error("scpmac batch entry did not error")
+	}
+	if outcomes[1].Err != nil {
+		t.Errorf("valid entry failed: %v", outcomes[1].Err)
+	}
+}
+
+// The public sweeps must agree cell-for-cell with OptimizeRelaxed.
+func TestSweepsMatchOptimizeRelaxed(t *testing.T) {
+	s := edmac.DefaultScenario()
+	for _, p := range edmac.PaperProtocols() {
+		pts, err := edmac.SweepMaxDelay(context.Background(), p, s, 0.06, edmac.PaperDelays())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(pts) != len(edmac.PaperDelays()) {
+			t.Fatalf("%s: %d cells, want %d", p, len(pts), len(edmac.PaperDelays()))
+		}
+		for i, pt := range pts {
+			want, wantErr := edmac.OptimizeRelaxed(p, s,
+				edmac.Requirements{EnergyBudget: 0.06, MaxDelay: edmac.PaperDelays()[i]})
+			if (wantErr == nil) != (pt.Err == nil) {
+				t.Errorf("%s cell %d: err %v vs sequential %v", p, i, pt.Err, wantErr)
+				continue
+			}
+			if wantErr == nil && !reflect.DeepEqual(want, pt.Result) {
+				t.Errorf("%s cell %d: sweep result differs from OptimizeRelaxed", p, i)
+			}
+		}
+	}
+	// Figure 2 direction, one protocol suffices for the wiring.
+	pts, err := edmac.SweepEnergyBudget(context.Background(), edmac.XMAC, s, 6, edmac.PaperBudgets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		want, _ := edmac.OptimizeRelaxed(edmac.XMAC, s,
+			edmac.Requirements{EnergyBudget: edmac.PaperBudgets()[i], MaxDelay: 6})
+		if pt.Err == nil && !reflect.DeepEqual(want, pt.Result) {
+			t.Errorf("budget cell %d differs from OptimizeRelaxed", i)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package edmac_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -143,6 +144,88 @@ func BenchmarkProportionalFairness(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		compute()
+	}
+}
+
+// --- Sweep execution: sequential vs worker-pool ------------------------
+//
+// The same paper grid (Figure 1, X-MAC) solved cell by cell on one
+// goroutine and fanned over the worker pool. On an N-core host the
+// parallel sweep approaches N× until cells outnumber cores; on one core
+// it degenerates to the sequential path (the pool runs inline).
+
+func BenchmarkSweepMaxDelaySequential(b *testing.B) {
+	env := macmodel.Default()
+	m, err := macmodel.NewXMAC(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		pts := core.SweepMaxDelay(m, core.PaperEnergyBudget, core.PaperDelays())
+		if len(pts) != len(core.PaperDelays()) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+func BenchmarkSweepMaxDelayParallel(b *testing.B) {
+	env := macmodel.Default()
+	m, err := macmodel.NewXMAC(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		pts, err := core.SweepMaxDelayParallel(ctx, m, core.PaperEnergyBudget, core.PaperDelays(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(core.PaperDelays()) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// --- Batch simulation: sequential vs worker-pool -----------------------
+
+func benchBatchRuns() []edmac.BatchRun {
+	runs := make([]edmac.BatchRun, 8)
+	for i := range runs {
+		runs[i] = edmac.BatchRun{
+			Protocol: edmac.XMAC,
+			Params:   []float64{0.5},
+			Options:  edmac.SimOptions{Duration: 120, Seed: int64(i + 1)},
+		}
+	}
+	return runs
+}
+
+func BenchmarkSimulateBatchSequential(b *testing.B) {
+	s := edmac.Scenario{
+		Depth: 3, Density: 4, SampleInterval: 120, Window: 60, Payload: 32, Radio: "cc2420",
+	}
+	runs := benchBatchRuns()
+	for i := 0; i < b.N; i++ {
+		for _, r := range runs {
+			if _, err := edmac.Simulate(r.Protocol, s, r.Params, r.Options); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSimulateBatchParallel(b *testing.B) {
+	s := edmac.Scenario{
+		Depth: 3, Density: 4, SampleInterval: 120, Window: 60, Payload: 32, Radio: "cc2420",
+	}
+	runs := benchBatchRuns()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		for _, out := range edmac.SimulateBatch(ctx, s, runs, 0) {
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -9,8 +10,8 @@ import (
 
 // paperDelays and paperBudgets are the sweeps of the paper's figures.
 var (
-	paperDelays  = []float64{1, 2, 3, 4, 5, 6}
-	paperBudgets = []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06}
+	paperDelays  = edmac.PaperDelays()
+	paperBudgets = edmac.PaperBudgets()
 )
 
 // cmdFigure regenerates Figure 1 (fig1: Ebudget fixed at 0.06 J, Lmax
@@ -44,24 +45,33 @@ func figureFor(p edmac.Protocol, s edmac.Scenario, fig1, plot bool) error {
 	}
 	fmt.Printf("%-14s %-12s %-10s %s\n", "sweep value", "E* [J]", "L* [s]", "flags")
 
+	// The grid cells are independent solves; the sweep fans them across
+	// every CPU and returns them in sweep order. The fixed axis of each
+	// figure is the paper's headline requirement pair.
+	anchor := edmac.PaperRequirements()
+	var pts []edmac.SweepPoint
+	var err error
+	if fig1 {
+		pts, err = edmac.SweepMaxDelay(context.Background(), p, s, anchor.EnergyBudget, paperDelays)
+	} else {
+		pts, err = edmac.SweepEnergyBudget(context.Background(), p, s, anchor.MaxDelay, paperBudgets)
+	}
+	if err != nil {
+		return err
+	}
+
 	type mark struct{ e, l float64 }
 	var marks []mark
-	sweep := paperDelays
-	if !fig1 {
-		sweep = paperBudgets
-	}
-	for _, v := range sweep {
-		req := edmac.Requirements{EnergyBudget: 0.06, MaxDelay: v}
-		label := fmt.Sprintf("Lmax=%g s", v)
+	for _, pt := range pts {
+		label := fmt.Sprintf("Lmax=%g s", pt.Requirements.MaxDelay)
 		if !fig1 {
-			req = edmac.Requirements{EnergyBudget: v, MaxDelay: 6}
-			label = fmt.Sprintf("Eb=%g J", v)
+			label = fmt.Sprintf("Eb=%g J", pt.Requirements.EnergyBudget)
 		}
-		res, err := edmac.OptimizeRelaxed(p, s, req)
-		if err != nil {
-			fmt.Printf("%-14s infeasible: %v\n", label, err)
+		if pt.Err != nil {
+			fmt.Printf("%-14s infeasible: %v\n", label, pt.Err)
 			continue
 		}
+		res := pt.Result
 		flags := "-"
 		if res.BudgetExceeded {
 			flags = "over-budget"

@@ -5,14 +5,20 @@
 //
 //	edsim run      -protocol xmac -params 0.25 -duration 1800 -seed 1
 //	edsim validate -protocol lmac -params 15,0.05 -duration 1800
+//	edsim validate -protocol xmac -params 0.25 -reps 8
 //
-// Scenario flags (-depth, -density, -interval, -window, -payload,
-// -radio) are accepted by both subcommands.
+// -reps N replicates the run under N consecutive seeds, fanned across
+// every CPU, and reports each replication plus the aggregate — the
+// Monte-Carlo cross-validation of the analytic models. Scenario flags
+// (-depth, -density, -interval, -window, -payload, -radio) are accepted
+// by both subcommands.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -50,7 +56,8 @@ func cmdRun(args []string, validate bool) error {
 	protocol := fs.String("protocol", "xmac", "protocol (xmac, dmac, lmac)")
 	paramsArg := fs.String("params", "", "comma-separated protocol parameters (required)")
 	duration := fs.Float64("duration", 1800, "simulated seconds")
-	seed := fs.Int64("seed", 1, "random seed")
+	seed := fs.Int64("seed", 1, "random seed (first seed with -reps)")
+	reps := fs.Int("reps", 1, "Monte-Carlo replications under consecutive seeds, run in parallel")
 	def := edmac.DefaultScenario()
 	depth := fs.Int("depth", def.Depth, "network depth D in hops")
 	density := fs.Int("density", def.Density, "unit-disk neighbourhood density C")
@@ -75,6 +82,10 @@ func cmdRun(args []string, validate bool) error {
 	}
 	opts := edmac.SimOptions{Duration: *duration, Seed: *seed}
 
+	if *reps > 1 {
+		return runReplicated(edmac.Protocol(*protocol), scenario, params, opts, *reps, validate)
+	}
+
 	if validate {
 		rep, err := edmac.Validate(edmac.Protocol(*protocol), scenario, params, opts)
 		if err != nil {
@@ -95,6 +106,78 @@ func cmdRun(args []string, validate bool) error {
 	}
 	printSimReport(rep)
 	return nil
+}
+
+// runReplicated fans reps simulations with consecutive seeds across the
+// CPUs via SimulateBatch and prints per-seed rows plus the aggregate.
+func runReplicated(p edmac.Protocol, s edmac.Scenario, params []float64,
+	o edmac.SimOptions, reps int, validate bool) error {
+	seeds := make([]int64, reps)
+	for i := range seeds {
+		seeds[i] = o.Seed + int64(i)
+	}
+	outcomes := edmac.SimulateSeeds(context.Background(), p, s, params, o, seeds, 0)
+
+	fmt.Printf("protocol          %s  params=%v  reps=%d\n", p, params, reps)
+	fmt.Printf("%-8s %-10s %-12s %-12s %-12s %s\n",
+		"seed", "delivery", "mean[s]", "outer[s]", "E[J/win]", "collisions")
+	var deliv, delay, outer, energy []float64
+	for i, out := range outcomes {
+		if out.Err != nil {
+			return fmt.Errorf("seed %d: %w", seeds[i], out.Err)
+		}
+		r := out.Report
+		fmt.Printf("%-8d %-10.4f %-12.4g %-12.4g %-12.5g %d\n",
+			seeds[i], r.DeliveryRatio, r.MeanDelay, r.OuterRingDelay, r.BottleneckEnergy, r.Collisions)
+		deliv = append(deliv, r.DeliveryRatio)
+		delay = append(delay, r.MeanDelay)
+		outer = append(outer, r.OuterRingDelay)
+		energy = append(energy, r.BottleneckEnergy)
+	}
+	mDeliv, sdDeliv := meanStd(deliv)
+	mDelay, sdDelay := meanStd(delay)
+	mOuter, sdOuter := meanStd(outer)
+	mEnergy, sdEnergy := meanStd(energy)
+	fmt.Printf("%-8s %-10.4f %-12.4g %-12.4g %-12.5g\n", "mean", mDeliv, mDelay, mOuter, mEnergy)
+	fmt.Printf("%-8s %-10.4f %-12.4g %-12.4g %-12.5g\n", "stddev", sdDeliv, sdDelay, sdOuter, sdEnergy)
+
+	if validate {
+		analyticE, analyticL, err := edmac.Evaluate(p, s, params)
+		if err == nil {
+			fmt.Printf("\n%-26s %-14s %-14s %s\n", "metric", "analytic", "measured", "ratio")
+			fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "bottleneck energy [J/win]",
+				analyticE, mEnergy, mEnergy/analyticE)
+			fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "outer-ring delay [s]",
+				analyticL, mOuter, mOuter/analyticL)
+		}
+	}
+	return nil
+}
+
+// meanStd returns the sample mean and standard deviation, ignoring NaNs.
+func meanStd(v []float64) (mean, sd float64) {
+	n := 0
+	for _, x := range v {
+		if math.IsNaN(x) {
+			continue
+		}
+		mean += x
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	for _, x := range v {
+		if math.IsNaN(x) {
+			continue
+		}
+		sd += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(sd / float64(n-1))
 }
 
 func printSimReport(rep edmac.SimReport) {

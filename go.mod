@@ -1,0 +1,3 @@
+module github.com/edmac-project/edmac
+
+go 1.24

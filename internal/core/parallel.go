@@ -1,0 +1,46 @@
+package core
+
+import (
+	"context"
+
+	"github.com/edmac-project/edmac/internal/macmodel"
+	"github.com/edmac-project/edmac/internal/par"
+)
+
+// SweepMaxDelayParallel is SweepMaxDelay fanned over a worker pool: one
+// goroutine solves one delay bound at a time, and the returned slice is
+// in the same order as delays — element i is always the solve for
+// delays[i], so the result is identical to the sequential sweep
+// (macmodel.Model implementations are immutable and the solvers are
+// deterministic; concurrency changes only the wall clock).
+//
+// workers < 1 uses one worker per CPU. Cancelling ctx abandons cells not
+// yet started and returns ctx.Err(); already-solved cells are lost.
+func SweepMaxDelayParallel(ctx context.Context, m macmodel.Model, energyBudget float64, delays []float64, workers int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, len(delays))
+	err := par.ForEach(ctx, len(delays), workers, func(i int) {
+		req := Requirements{EnergyBudget: energyBudget, MaxDelay: delays[i]}
+		tr, err := OptimizeRelaxed(m, req)
+		points[i] = SweepPoint{Requirements: req, Tradeoff: tr, Err: err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// SweepEnergyBudgetParallel is SweepEnergyBudget fanned over a worker
+// pool, with the same ordering, determinism and cancellation contract as
+// SweepMaxDelayParallel.
+func SweepEnergyBudgetParallel(ctx context.Context, m macmodel.Model, maxDelay float64, budgets []float64, workers int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, len(budgets))
+	err := par.ForEach(ctx, len(budgets), workers, func(i int) {
+		req := Requirements{EnergyBudget: budgets[i], MaxDelay: maxDelay}
+		tr, err := OptimizeRelaxed(m, req)
+		points[i] = SweepPoint{Requirements: req, Tradeoff: tr, Err: err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}

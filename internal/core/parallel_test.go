@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/edmac-project/edmac/internal/macmodel"
+)
+
+// The parallel sweeps must be bit-identical to their sequential
+// counterparts for every protocol: same cells, same order, same floats.
+func TestParallelSweepsMatchSequential(t *testing.T) {
+	env := macmodel.Default()
+	for _, name := range []string{"xmac", "dmac", "lmac", "bmac", "scpmac"} {
+		t.Run(name, func(t *testing.T) {
+			m, err := macmodel.New(name, env)
+			if err != nil {
+				t.Fatalf("model: %v", err)
+			}
+			seq := SweepMaxDelay(m, PaperEnergyBudget, PaperDelays())
+			par, err := SweepMaxDelayParallel(context.Background(), m, PaperEnergyBudget, PaperDelays(), 4)
+			if err != nil {
+				t.Fatalf("parallel sweep: %v", err)
+			}
+			comparePoints(t, "SweepMaxDelay", seq, par)
+
+			seq = SweepEnergyBudget(m, PaperMaxDelay, PaperBudgets())
+			par, err = SweepEnergyBudgetParallel(context.Background(), m, PaperMaxDelay, PaperBudgets(), 4)
+			if err != nil {
+				t.Fatalf("parallel sweep: %v", err)
+			}
+			comparePoints(t, "SweepEnergyBudget", seq, par)
+		})
+	}
+}
+
+func comparePoints(t *testing.T, what string, seq, par []SweepPoint) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("%s: %d sequential cells vs %d parallel", what, len(seq), len(par))
+	}
+	for i := range seq {
+		if (seq[i].Err == nil) != (par[i].Err == nil) {
+			t.Errorf("%s[%d]: err mismatch: %v vs %v", what, i, seq[i].Err, par[i].Err)
+			continue
+		}
+		if seq[i].Err != nil {
+			if seq[i].Err.Error() != par[i].Err.Error() {
+				t.Errorf("%s[%d]: err text mismatch: %v vs %v", what, i, seq[i].Err, par[i].Err)
+			}
+			continue
+		}
+		// Tradeoff is floats and strings all the way down; it must match
+		// exactly, not approximately.
+		if !reflect.DeepEqual(seq[i].Tradeoff, par[i].Tradeoff) {
+			t.Errorf("%s[%d]: tradeoff mismatch:\nsequential %+v\nparallel   %+v",
+				what, i, seq[i].Tradeoff, par[i].Tradeoff)
+		}
+	}
+}
+
+func TestParallelSweepCancellation(t *testing.T) {
+	env := macmodel.Default()
+	m, err := macmodel.New("xmac", env)
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepMaxDelayParallel(ctx, m, PaperEnergyBudget, PaperDelays(), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+}

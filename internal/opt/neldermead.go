@@ -1,9 +1,6 @@
 package opt
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // NMOptions configure the Nelder-Mead simplex search.
 type NMOptions struct {
@@ -42,6 +39,13 @@ func (o NMOptions) withDefaults(dim int) NMOptions {
 //
 // The method is derivative-free and tolerates +Inf plateaus (infeasible
 // penalty regions); vertices there simply rank worst.
+//
+// All working storage — the simplex, the centroid and the trial points —
+// lives in one arena allocated up front and recycled by swapping slices,
+// so an entire search performs a fixed handful of allocations however
+// many iterations it runs. The sweep and bargaining layers call this in
+// tight grids; the solver being allocation-free is what keeps the figure
+// benchmarks off the garbage collector.
 func NelderMead(f Func, x0 Vector, b Bounds, o NMOptions) Result {
 	dim := b.Dim()
 	o = o.withDefaults(dim)
@@ -60,18 +64,42 @@ func NelderMead(f Func, x0 Vector, b Bounds, o NMOptions) Result {
 		x Vector
 		f float64
 	}
+	// One arena holds every vector the search will ever touch:
+	// dim+1 simplex vertices, the centroid, and one trial buffer.
+	arena := make(Vector, (dim+3)*dim)
+	cut := func(i int) Vector { return arena[i*dim : (i+1)*dim] }
 	simplex := make([]vertex, dim+1)
-	start := b.Clamp(x0)
-	simplex[0] = vertex{x: start, f: eval(start)}
+	for i := range simplex {
+		simplex[i].x = cut(i)
+	}
+	c := cut(dim + 1)     // centroid
+	trial := cut(dim + 2) // reflection/expansion/contraction candidate
+
+	clamp := func(x Vector) {
+		for i := range x {
+			if x[i] < b.Lo[i] {
+				x[i] = b.Lo[i]
+			}
+			if x[i] > b.Hi[i] {
+				x[i] = b.Hi[i]
+			}
+		}
+	}
+
+	start := simplex[0].x
+	copy(start, x0)
+	clamp(start)
+	simplex[0].f = eval(start)
 	for i := 0; i < dim; i++ {
-		x := start.Clone()
+		x := simplex[i+1].x
+		copy(x, start)
 		step := o.Step * width[i]
 		if x[i]+step > b.Hi[i] {
 			step = -step
 		}
 		x[i] += step
-		x = b.Clamp(x)
-		simplex[i+1] = vertex{x: x, f: eval(x)}
+		clamp(x)
+		simplex[i+1].f = eval(x)
 	}
 
 	const (
@@ -81,11 +109,23 @@ func NelderMead(f Func, x0 Vector, b Bounds, o NMOptions) Result {
 		sigma = 0.5 // shrink
 	)
 
+	// order is a stable insertion sort: the simplex has at most a
+	// handful of vertices and must not allocate per iteration.
 	order := func() {
-		sort.SliceStable(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		for i := 1; i < len(simplex); i++ {
+			v := simplex[i]
+			j := i - 1
+			for j >= 0 && simplex[j].f > v.f {
+				simplex[j+1] = simplex[j]
+				j--
+			}
+			simplex[j+1] = v
+		}
 	}
-	centroid := func() Vector {
-		c := make(Vector, dim)
+	centroid := func() {
+		for i := range c {
+			c[i] = 0
+		}
 		for _, v := range simplex[:dim] {
 			for i := range c {
 				c[i] += v.x[i]
@@ -94,14 +134,19 @@ func NelderMead(f Func, x0 Vector, b Bounds, o NMOptions) Result {
 		for i := range c {
 			c[i] /= float64(dim)
 		}
-		return c
 	}
-	combine := func(c, x Vector, coeff float64) Vector {
-		out := make(Vector, dim)
-		for i := range out {
-			out[i] = c[i] + coeff*(c[i]-x[i])
+	// combine fills the trial buffer with c + coeff·(c − x), clamped.
+	combine := func(x Vector, coeff float64) {
+		for i := range trial {
+			trial[i] = c[i] + coeff*(c[i]-x[i])
 		}
-		return b.Clamp(out)
+		clamp(trial)
+	}
+	// acceptTrial installs the trial point as the worst vertex by
+	// swapping buffers, so no copy and no allocation.
+	acceptTrial := func(fv float64) {
+		simplex[dim].x, trial = trial, simplex[dim].x
+		simplex[dim].f = fv
 	}
 
 	reseeded := false
@@ -112,24 +157,28 @@ func NelderMead(f Func, x0 Vector, b Bounds, o NMOptions) Result {
 		// reseed it once across the whole box to find usable ground.
 		if math.IsInf(simplex[0].f, 1) && !reseeded {
 			reseeded = true
-			center := b.Center()
-			simplex[0] = vertex{x: center, f: eval(center)}
+			center := simplex[0].x
+			for i := range center {
+				center[i] = 0.5 * (b.Lo[i] + b.Hi[i])
+			}
+			simplex[0].f = eval(center)
 			for i := 0; i < dim; i++ {
-				x := center.Clone()
+				x := simplex[i+1].x
+				copy(x, center)
 				if i%2 == 0 {
 					x[i] = b.Lo[i] + 0.25*width[i]
 				} else {
 					x[i] = b.Hi[i] - 0.25*width[i]
 				}
-				simplex[i+1] = vertex{x: x, f: eval(x)}
+				simplex[i+1].f = eval(x)
 			}
 			order()
 		}
-		best, worst := simplex[0], simplex[dim]
+		fBest, worst := simplex[0].f, simplex[dim]
 
 		// Convergence: function spread and simplex size.
-		spread := math.Abs(worst.f - best.f)
-		if math.IsInf(best.f, 1) {
+		spread := math.Abs(worst.f - fBest)
+		if math.IsInf(fBest, 1) {
 			spread = math.Inf(1)
 		}
 		diam := 0.0
@@ -141,36 +190,38 @@ func NelderMead(f Func, x0 Vector, b Bounds, o NMOptions) Result {
 				}
 			}
 		}
-		if spread <= o.TolF*(math.Abs(best.f)+1e-30) && diam <= o.TolX {
+		if spread <= o.TolF*(math.Abs(fBest)+1e-30) && diam <= o.TolX {
 			break
 		}
 
-		c := centroid()
-		refl := combine(c, worst.x, alpha)
-		fRefl := eval(refl)
+		centroid()
+		combine(worst.x, alpha)
+		fRefl := eval(trial)
 		switch {
-		case fRefl < best.f:
-			exp := combine(c, worst.x, gamma)
-			if fExp := eval(exp); fExp < fRefl {
-				simplex[dim] = vertex{x: exp, f: fExp}
-			} else {
-				simplex[dim] = vertex{x: refl, f: fRefl}
+		case fRefl < fBest:
+			// Try expanding past the reflection. The reflection must be
+			// kept while the expansion is evaluated, so park it in the
+			// worst vertex first and reuse the trial buffer.
+			acceptTrial(fRefl)
+			combine(worst.x, gamma)
+			if fExp := eval(trial); fExp < fRefl {
+				acceptTrial(fExp)
 			}
 		case fRefl < simplex[dim-1].f:
-			simplex[dim] = vertex{x: refl, f: fRefl}
+			acceptTrial(fRefl)
 		default:
-			contr := combine(c, worst.x, -rho)
-			if fContr := eval(contr); fContr < worst.f {
-				simplex[dim] = vertex{x: contr, f: fContr}
+			combine(worst.x, -rho)
+			if fContr := eval(trial); fContr < worst.f {
+				acceptTrial(fContr)
 			} else {
 				// Shrink toward the best vertex.
 				for i := 1; i <= dim; i++ {
-					x := make(Vector, dim)
+					x := simplex[i].x
 					for j := range x {
 						x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
 					}
-					x = b.Clamp(x)
-					simplex[i] = vertex{x: x, f: eval(x)}
+					clamp(x)
+					simplex[i].f = eval(x)
 				}
 			}
 		}

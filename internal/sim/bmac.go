@@ -1,6 +1,9 @@
 package sim
 
-import "github.com/edmac-project/edmac/internal/radio"
+import (
+	"github.com/edmac-project/edmac/internal/radio"
+	"github.com/edmac-project/edmac/internal/topology"
+)
 
 // bmacPhase is the protocol state of one B-MAC node.
 type bmacPhase int
@@ -19,7 +22,8 @@ const bmacMaxRetries = 5
 // listening with a full-length, address-free wakeup preamble spanning
 // one check interval. Everyone in range of the preamble — not just the
 // target — stays awake through the data frame, which is the overhearing
-// cost X-MAC's strobes were invented to remove.
+// cost X-MAC's strobes were invented to remove. Recurring callbacks are
+// allocated once at construction.
 type bmacNode struct {
 	*node
 	tw float64
@@ -30,12 +34,22 @@ type bmacNode struct {
 
 	preambleBytes int
 
-	pollTimer *Timer
-	dataTimer *Timer
-	ackTimer  *Timer
+	pollTimer Timer
+	dataTimer Timer
+	ackTimer  Timer
 
 	pollWindow float64
 	turn       float64
+
+	ackDst topology.NodeID // destination of the pending ACK reply
+
+	pollFn        func()
+	pollExpiredFn func()
+	dataExpiredFn func()
+	ackExpiredFn  func()
+	attemptSendFn func()
+	maybeSendFn   func()
+	sendAckFn     func()
 }
 
 func newBMACNode(n *node, tw float64) *bmacNode {
@@ -47,13 +61,22 @@ func newBMACNode(n *node, tw float64) *bmacNode {
 	}
 	m.preambleBytes = bytes
 	m.pollWindow = 2*n.x.prof.CCA + 2*interFrameSpacing
+	m.pollFn = m.poll
+	m.pollExpiredFn = m.pollExpired
+	m.dataExpiredFn = m.dataExpired
+	m.ackExpiredFn = m.ackExpired
+	m.attemptSendFn = m.attemptSend
+	m.maybeSendFn = m.maybeSend
+	m.sendAckFn = func() {
+		m.x.Send(m.newFrame(FrameAck, m.ackDst, m.ackBytes, nil))
+	}
 	return m
 }
 
 // start implements macLayer.
 func (m *bmacNode) start() {
 	m.x.Sleep()
-	m.eng.After(m.rng.Float64()*m.tw, m.poll)
+	m.eng.After(m.rng.Float64()*m.tw, m.pollFn)
 }
 
 // sampled implements macLayer.
@@ -65,14 +88,14 @@ func (m *bmacNode) sampled(p *Packet) {
 }
 
 func (m *bmacNode) poll() {
-	m.eng.After(m.tw, m.poll)
+	m.eng.After(m.tw, m.pollFn)
 	if m.busy {
 		return
 	}
 	m.x.Listen() // midLock may land us straight in Rx on a preamble
 	m.phase = bPolling
 	m.busy = true
-	m.pollTimer = m.eng.After(m.pollWindow, m.pollExpired)
+	m.pollTimer = m.eng.After(m.pollWindow, m.pollExpiredFn)
 }
 
 func (m *bmacNode) pollExpired() {
@@ -81,7 +104,7 @@ func (m *bmacNode) pollExpired() {
 	}
 	if m.x.State() == radio.Rx || m.x.CarrierBusy() {
 		// Preamble (or other frame) in flight: hold on until it resolves.
-		m.pollTimer = m.eng.After(m.x.Airtime(m.dataBytes), m.pollExpired)
+		m.pollTimer = m.eng.After(m.x.Airtime(m.dataBytes), m.pollExpiredFn)
 		return
 	}
 	m.finish()
@@ -112,11 +135,11 @@ func (m *bmacNode) attemptSend() {
 	if m.x.CarrierBusy() {
 		m.busy = false
 		m.x.Sleep()
-		m.eng.After(m.rng.Float64()*m.tw/2, m.attemptSend)
+		m.eng.After(m.rng.Float64()*m.tw/2, m.attemptSendFn)
 		return
 	}
 	m.phase = bWaitAck // set early; the preamble+data run back to back
-	m.x.Send(&Frame{Kind: FramePreamble, Src: m.id, Dst: Broadcast, Bytes: m.preambleBytes})
+	m.x.Send(m.newFrame(FramePreamble, Broadcast, m.preambleBytes, nil))
 }
 
 // dataExpired fires when no data frame followed a heard preamble (the
@@ -140,17 +163,17 @@ func (m *bmacNode) ackExpired() {
 		m.retries = 0
 	}
 	m.finish()
-	m.eng.After(m.rng.Float64()*m.tw, m.maybeSend)
+	m.eng.After(m.rng.Float64()*m.tw, m.maybeSendFn)
 }
 
 // OnTxDone implements FrameHandler.
 func (m *bmacNode) OnTxDone(f *Frame) {
 	switch f.Kind {
 	case FramePreamble:
-		m.x.Send(&Frame{Kind: FrameData, Src: m.id, Dst: m.parent, Bytes: m.dataBytes, Packet: m.head()})
+		m.x.Send(m.newFrame(FrameData, m.parent, m.dataBytes, m.head()))
 	case FrameData:
 		ackWait := m.turn + m.x.Airtime(m.ackBytes) + m.turn + 2*interFrameSpacing
-		m.ackTimer = m.eng.After(ackWait, m.ackExpired)
+		m.ackTimer = m.eng.After(ackWait, m.ackExpiredFn)
 	case FrameAck:
 		m.finish()
 		m.maybeSend()
@@ -166,7 +189,7 @@ func (m *bmacNode) OnFrame(f *Frame) {
 			m.pollTimer.Cancel()
 			m.phase = bWaitData
 			wait := interFrameSpacing + m.x.Airtime(m.dataBytes) + 2*m.turn
-			m.dataTimer = m.eng.After(wait, m.dataExpired)
+			m.dataTimer = m.eng.After(wait, m.dataExpiredFn)
 			return
 		}
 		// Any other frame mid-poll: not ours to handle.
@@ -178,11 +201,9 @@ func (m *bmacNode) OnFrame(f *Frame) {
 		}
 		m.dataTimer.Cancel()
 		if f.Dst == m.id {
-			pkt := f.Packet
-			m.eng.After(m.turn, func() {
-				m.x.Send(&Frame{Kind: FrameAck, Src: m.id, Dst: f.Src, Bytes: m.ackBytes})
-			})
-			m.accept(pkt)
+			m.ackDst = f.Src
+			m.eng.After(m.turn, m.sendAckFn)
+			m.accept(f.Packet)
 			return
 		}
 		// Overheard someone else's data — the cost of address-free

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/edmac-project/edmac/internal/topology"
+)
 
 // dmacPhase is the protocol state of one DMAC node.
 type dmacPhase int
@@ -30,6 +34,7 @@ func (m *dmacNode) tracef(format string, args ...interface{}) {
 // children's transmit slot and forwards in the next slot, so data rides
 // a single wave to the sink each frame. Network-wide slot alignment is
 // assumed, as in the protocol (DMAC relies on time synchronization).
+// Recurring callbacks are allocated once at construction.
 type dmacNode struct {
 	*node
 	frame float64 // frame length T
@@ -37,8 +42,9 @@ type dmacNode struct {
 	depth int     // network depth D
 	ring  int     // this node's depth d
 
-	phase   dmacPhase
-	retries int
+	phase    dmacPhase
+	retries  int
+	frameIdx int // index of the next frame to arm
 	// skipFrames mutes the transmit slot for a few frames after a failed
 	// attempt (binary exponential backoff in frame units): two hidden
 	// senders whose data collided would otherwise retry in the very same
@@ -49,7 +55,17 @@ type dmacNode struct {
 	turn    float64
 	ackWait float64
 
-	ackTimer *Timer
+	ackTimer Timer
+
+	ackDst topology.NodeID // destination of the pending ACK reply
+
+	openRxSlotFn     func()
+	closeRxSlotFn    func()
+	openTxSlotFn     func()
+	contentionDoneFn func()
+	ackExpiredFn     func()
+	nextFrameFn      func()
+	sendAckFn        func()
 }
 
 func newDMACNode(n *node, frame, mu float64, depth int) *dmacNode {
@@ -63,6 +79,15 @@ func newDMACNode(n *node, frame, mu float64, depth int) *dmacNode {
 	}
 	d.cw = 8 * n.x.prof.CCA
 	d.ackWait = d.turn + n.x.Airtime(n.ackBytes) + d.turn + n.x.prof.CCA
+	d.openRxSlotFn = d.openRxSlot
+	d.closeRxSlotFn = d.closeRxSlot
+	d.openTxSlotFn = d.openTxSlot
+	d.contentionDoneFn = d.contentionDone
+	d.ackExpiredFn = d.ackExpired
+	d.nextFrameFn = func() { d.scheduleFrame(d.frameIdx) }
+	d.sendAckFn = func() {
+		d.x.Send(d.newFrame(FrameAck, d.ackDst, d.ackBytes, nil))
+	}
 	return d
 }
 
@@ -84,13 +109,14 @@ func (m *dmacNode) scheduleFrame(k int) {
 	// at index D−d, receiving from its children in the slot before.
 	txSlot := m.depth - m.ring
 	if m.ring < m.depth {
-		m.eng.At(boundary(txSlot-1), m.openRxSlot)
-		m.eng.At(boundary(txSlot), m.closeRxSlot)
+		m.eng.At(boundary(txSlot-1), m.openRxSlotFn)
+		m.eng.At(boundary(txSlot), m.closeRxSlotFn)
 	}
 	if !m.isSink() {
-		m.eng.At(boundary(txSlot), m.openTxSlot)
+		m.eng.At(boundary(txSlot), m.openTxSlotFn)
 	}
-	m.eng.At(epoch+m.frame, func() { m.scheduleFrame(k + 1) })
+	m.frameIdx = k + 1
+	m.eng.At(epoch+m.frame, m.nextFrameFn)
 }
 
 // sampled implements macLayer: packets wait for the next transmit slot.
@@ -117,7 +143,7 @@ func (m *dmacNode) closeRxSlot() {
 
 // openTxSlot contends for the channel when traffic is pending.
 func (m *dmacNode) openTxSlot() {
-	m.tracef("openTxSlot qlen=%d", len(m.queue))
+	m.tracef("openTxSlot qlen=%d", m.queueLen())
 	if m.phase != dSleep || m.head() == nil {
 		return
 	}
@@ -128,7 +154,7 @@ func (m *dmacNode) openTxSlot() {
 	m.phase = dContend
 	m.x.Listen()
 	backoff := m.rng.Float64() * m.cw
-	m.eng.After(backoff, m.contentionDone)
+	m.eng.After(backoff, m.contentionDoneFn)
 }
 
 // contentionDone performs the CCA and transmits on a clear channel.
@@ -143,7 +169,7 @@ func (m *dmacNode) contentionDone() {
 		m.x.Sleep()
 		return
 	}
-	m.x.Send(&Frame{Kind: FrameData, Src: m.id, Dst: m.parent, Bytes: m.dataBytes, Packet: m.head()})
+	m.x.Send(m.newFrame(FrameData, m.parent, m.dataBytes, m.head()))
 }
 
 // OnTxDone implements FrameHandler.
@@ -152,7 +178,7 @@ func (m *dmacNode) OnTxDone(f *Frame) {
 	switch f.Kind {
 	case FrameData:
 		m.phase = dWaitAck
-		m.ackTimer = m.eng.After(m.ackWait, m.ackExpired)
+		m.ackTimer = m.eng.After(m.ackWait, m.ackExpiredFn)
 	case FrameAck:
 		// Receiver side: handshake done; the rx slot may still be open.
 		if m.phase == dSleep {
@@ -190,11 +216,9 @@ func (m *dmacNode) OnFrame(f *Frame) {
 	switch m.phase {
 	case dRxSlot:
 		if f.Kind == FrameData && f.Dst == m.id {
-			pkt := f.Packet
-			m.eng.After(m.turn, func() {
-				m.x.Send(&Frame{Kind: FrameAck, Src: m.id, Dst: f.Src, Bytes: m.ackBytes})
-			})
-			m.accept(pkt)
+			m.ackDst = f.Src
+			m.eng.After(m.turn, m.sendAckFn)
+			m.accept(f.Packet)
 			return
 		}
 		// Overheard a neighbour's exchange: stay in the slot (the

@@ -4,120 +4,269 @@
 // class simulators we do not have — see DESIGN.md §5): a virtual-time
 // event engine, a unit-disk radio medium with collision handling, a
 // per-node transceiver state machine with energy metering, and faithful
-// packet-level implementations of X-MAC, DMAC and LMAC.
+// packet-level implementations of X-MAC, B-MAC, DMAC and LMAC.
 //
 // The simulator measures what the analytic models of internal/macmodel
 // predict; the cross-validation tests and the `edsim validate` command
 // compare the two.
+//
+// # Concurrency and determinism contract
+//
+// One Engine (and everything hanging off it: Medium, Transceivers, MAC
+// nodes, Metrics) is single-threaded by design and must only be driven
+// from one goroutine. Determinism is a correctness requirement: a run is
+// a pure function of its Config, so equal seeds reproduce runs exactly,
+// event for event. Independent runs share nothing mutable — Run builds a
+// fresh Engine, Medium and RNG set per call, and topology.Network and
+// radio.Radio are immutable after construction — so any number of runs
+// may execute concurrently (see RunBatch), and a batch's results are
+// bit-identical to executing the same configs sequentially.
 package sim
-
-import "container/heap"
 
 // Time is virtual simulation time in seconds. It is a float64 rather
 // than time.Duration because it feeds the same closed-form arithmetic as
 // the analytic models (it is compared against them directly).
 type Time = float64
 
-// event is one scheduled callback.
+// event is one scheduled callback, stored in the engine's flat arena.
+// Callbacks come in two forms: a plain closure fn, or the pair (do, arg)
+// which lets hot paths reuse one long-lived func value with a per-event
+// argument instead of allocating a fresh closure per schedule.
 type event struct {
-	at        Time
-	seq       uint64 // tie-breaker: FIFO among equal timestamps
-	fn        func()
-	cancelled bool
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	fn   func()
+	do   func(any)
+	arg  any
+	gen  uint32 // bumped on slot reuse; stale Timers miss
+	hpos int32  // index into Engine.order, -1 when free
+	next int32  // free-list link, -1 at the end
 }
+
+const noSlot = -1
 
 // Timer is a handle to a scheduled event that can be cancelled before it
 // fires. MAC protocols cancel pending timeouts constantly (an ACK
 // arriving cancels the retry timer, a frame ending cancels the poll
-// extension, ...).
+// extension, ...). The zero Timer is valid and inert.
 type Timer struct {
-	ev *event
+	eng  *Engine
+	slot int32
+	gen  uint32
 }
 
-// Cancel prevents the timer from firing. Cancelling an already-fired or
-// already-cancelled timer is a no-op.
+// Cancel removes the event from the queue so it never fires and its
+// slot is immediately reusable. Cancelling the zero Timer, a nil *Timer,
+// or an already-fired or already-cancelled timer is a no-op.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.cancelled = true
+	if t == nil || t.eng == nil {
+		return
 	}
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	t.eng.cancel(t.slot, t.gen)
+	t.eng = nil
 }
 
 // Engine is the discrete-event scheduler: a priority queue of callbacks
-// over virtual time. It is single-threaded by design — determinism for a
-// given seed is a correctness requirement of the validation tests.
+// over virtual time. Events live in a flat arena recycled through a
+// free-list and are ordered by an indexed 4-ary min-heap, so scheduling
+// and cancelling are allocation-free in steady state and cancellation
+// removes the event immediately instead of leaving a tombstone to be
+// popped. The engine is single-goroutine; see the package comment for
+// the concurrency contract.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	events uint64
+	now       Time
+	seq       uint64
+	events    []event // arena; index = slot
+	order     []int32 // 4-ary min-heap of slots, keyed by (at, seq)
+	free      int32   // head of the free-slot list, noSlot when empty
+	processed uint64
 }
 
 // NewEngine returns an engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{free: noSlot}
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() Time { return e.now }
 
 // Processed returns the number of events executed so far.
-func (e *Engine) Processed() uint64 { return e.events }
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// QueueLen returns the number of events currently pending. Cancelled
+// events are removed eagerly and never count.
+func (e *Engine) QueueLen() int { return len(e.order) }
 
 // At schedules fn at absolute time t (clamped to now for past times) and
 // returns a cancellable handle.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
+	return e.schedule(t, fn, nil, nil)
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) Timer {
+	return e.schedule(e.now+d, fn, nil, nil)
+}
+
+// AtCall schedules do(arg) at absolute time t. It exists for hot paths:
+// do can be one long-lived func value (e.g. a cached method wrapper)
+// reused across schedules, so no closure is allocated per event.
+func (e *Engine) AtCall(t Time, do func(any), arg any) Timer {
+	return e.schedule(t, nil, do, arg)
+}
+
+// AfterCall schedules do(arg) d seconds from now.
+func (e *Engine) AfterCall(d float64, do func(any), arg any) Timer {
+	return e.schedule(e.now+d, nil, do, arg)
+}
+
+// schedule allocates a slot (reusing the free-list), fills it and sifts
+// it into the heap.
+func (e *Engine) schedule(t Time, fn func(), do func(any), arg any) Timer {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	var slot int32
+	if e.free != noSlot {
+		slot = e.free
+		e.free = e.events[slot].next
+	} else {
+		e.events = append(e.events, event{})
+		slot = int32(len(e.events) - 1)
+	}
+	ev := &e.events[slot]
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.do = do
+	ev.arg = arg
+	ev.hpos = int32(len(e.order))
+	e.order = append(e.order, slot)
+	e.siftUp(int(ev.hpos))
+	return Timer{eng: e, slot: slot, gen: ev.gen}
 }
 
-// After schedules fn d seconds from now.
-func (e *Engine) After(d float64, fn func()) *Timer {
-	return e.At(e.now+d, fn)
+// cancel removes the event at slot if the generation still matches (the
+// event has neither fired nor been cancelled since the Timer was made).
+func (e *Engine) cancel(slot int32, gen uint32) {
+	if slot < 0 || int(slot) >= len(e.events) {
+		return
+	}
+	ev := &e.events[slot]
+	if ev.gen != gen || ev.hpos == noSlot {
+		return
+	}
+	e.removeAt(int(ev.hpos))
+	e.release(slot)
+}
+
+// release returns a slot to the free-list, dropping callback references
+// so the GC can reclaim captured state.
+func (e *Engine) release(slot int32) {
+	ev := &e.events[slot]
+	ev.fn = nil
+	ev.do = nil
+	ev.arg = nil
+	ev.gen++
+	ev.hpos = noSlot
+	ev.next = e.free
+	e.free = slot
 }
 
 // Run executes events in timestamp order until the queue empties or the
 // next event lies beyond `until`; the clock then advances to `until`.
 func (e *Engine) Run(until Time) {
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.at > until {
+	for len(e.order) > 0 {
+		slot := e.order[0]
+		ev := &e.events[slot]
+		if ev.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.cancelled {
-			continue
+		e.now = ev.at
+		fn, do, arg := ev.fn, ev.do, ev.arg
+		e.removeAt(0)
+		e.release(slot)
+		e.processed++
+		if do != nil {
+			do(arg)
+		} else {
+			fn()
 		}
-		e.now = next.at
-		e.events++
-		next.fn()
 	}
 	if e.now < until {
 		e.now = until
 	}
+}
+
+// --- indexed 4-ary min-heap over the order slice ----------------------
+
+// less orders slots by (at, seq): earliest first, FIFO among equals.
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.events[a], &e.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// place writes slot at heap position i and records the position.
+func (e *Engine) place(slot int32, i int) {
+	e.order[i] = slot
+	e.events[slot].hpos = int32(i)
+}
+
+func (e *Engine) siftUp(i int) {
+	slot := e.order[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(slot, e.order[parent]) {
+			break
+		}
+		e.place(e.order[parent], i)
+		i = parent
+	}
+	e.place(slot, i)
+}
+
+func (e *Engine) siftDown(i int) {
+	slot := e.order[i]
+	n := len(e.order)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(e.order[c], e.order[best]) {
+				best = c
+			}
+		}
+		if !e.less(e.order[best], slot) {
+			break
+		}
+		e.place(e.order[best], i)
+		i = best
+	}
+	e.place(slot, i)
+}
+
+// removeAt deletes the heap entry at position i, restoring heap order.
+// The caller releases (or has copied) the slot itself.
+func (e *Engine) removeAt(i int) {
+	n := len(e.order) - 1
+	lastSlot := e.order[n]
+	e.order = e.order[:n]
+	if i == n {
+		return
+	}
+	e.place(lastSlot, i)
+	// The moved slot may need to travel either direction.
+	e.siftUp(i)
+	e.siftDown(int(e.events[lastSlot].hpos))
 }

@@ -63,6 +63,89 @@ func TestEngineCancel(t *testing.T) {
 	timer.Cancel()
 	var nilTimer *Timer
 	nilTimer.Cancel()
+	var zeroTimer Timer
+	zeroTimer.Cancel()
+}
+
+func TestEngineCancelAfterFire(t *testing.T) {
+	eng := NewEngine()
+	var first Timer
+	fired := 0
+	first = eng.After(1, func() { fired++ })
+	// This event reuses no slot yet; after both fire, cancelling the
+	// stale handles must not disturb newly scheduled events.
+	eng.After(2, func() { fired++ })
+	eng.Run(3)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	// Both slots are free now, with `first`'s slot below the LIFO free
+	// head. Schedule two events so the second one reuses exactly that
+	// slot, then cancel through the stale handle: the generation bump on
+	// release must make the cancel a no-op and both events must fire.
+	refired := 0
+	eng.After(1, func() { refired++ })
+	eng.After(1.5, func() { refired++ }) // lands in `first`'s old slot
+	first.Cancel()
+	eng.Run(6)
+	if refired != 2 {
+		t.Errorf("stale Cancel removed a reused slot's new event: %d of 2 fired", refired)
+	}
+}
+
+func TestEngineCancelRemovesEvent(t *testing.T) {
+	// A cancelled timer must leave the queue immediately — not linger as
+	// a tombstone until popped. MAC layers cancel timers constantly; the
+	// old heap leaked them until their timestamp came up.
+	eng := NewEngine()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tm := eng.After(1e9+float64(i), func() {})
+		tm.Cancel()
+	}
+	if got := eng.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen = %d after cancelling all %d timers, want 0", got, n)
+	}
+	// Interleaved schedule/cancel with live events in between: the queue
+	// must stay bounded by the live events only.
+	live := 0
+	for i := 0; i < n; i++ {
+		tm := eng.After(2+float64(i)*1e-6, func() { live++ })
+		tm2 := eng.After(1, func() {})
+		tm2.Cancel()
+		tm.Cancel()
+	}
+	if got := eng.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen = %d after interleaved cancels, want 0", got)
+	}
+	eng.Run(3)
+	if live != 0 {
+		t.Fatalf("cancelled events fired %d times", live)
+	}
+}
+
+func TestEngineCancelMiddleKeepsOrder(t *testing.T) {
+	// Removing an event from the middle of the heap must preserve the
+	// (time, FIFO) order of the survivors.
+	eng := NewEngine()
+	var got []int
+	timers := make([]Timer, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		timers[i] = eng.At(float64(10-i), func() { got = append(got, 10-i) })
+	}
+	timers[3].Cancel() // at time 7
+	timers[8].Cancel() // at time 2
+	eng.Run(20)
+	want := []int{1, 3, 4, 5, 6, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
 }
 
 func TestEngineHorizonStopsEarly(t *testing.T) {

@@ -56,9 +56,15 @@ type Packet struct {
 	Created Time
 }
 
-// Frame is one on-air MAC frame.
+// Frame is one on-air MAC frame. Frames sent through a Transceiver are
+// recycled by the medium once their transmission ends (see FrameHandler
+// for the ownership contract).
 type Frame struct {
-	Kind FrameKind
+	// pooled guards the recycling contract: the medium panics on any
+	// send, upcall or free of a frame that is sitting in the pool. One
+	// bool compare per event is cheap insurance against use-after-free.
+	pooled bool
+	Kind   FrameKind
 	// Src and Dst are one-hop addresses; Dst may be Broadcast.
 	Src, Dst topology.NodeID
 	// Bytes is the MAC-layer size (the radio adds PHY overhead).

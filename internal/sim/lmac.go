@@ -21,6 +21,8 @@ const (
 // every other control section; data sections are slept through unless
 // the control announces data for this node. There are no CCAs, no
 // contention and no ACKs — the schedule guarantees exclusivity.
+// Slot-boundary callbacks and their boxed slot arguments are allocated
+// once at construction, so arming a frame does not allocate.
 type lmacNode struct {
 	*node
 	slots  int     // N: slots per frame
@@ -28,11 +30,27 @@ type lmacNode struct {
 	owned  int     // this node's slot index
 	bySlot map[int]topology.NodeID
 
-	phase lmacPhase
+	phase    lmacPhase
+	frameIdx int // index of the next frame to arm
+
+	slotStartCb   func(any)
+	slotArgs      []any // pre-boxed slot indices for slotStartCb
+	slotEndFn     func()
+	ctrlTimeoutFn func()
+	nextFrameFn   func()
 }
 
 func newLMACNode(n *node, slots int, tslot float64, owned int, bySlot map[int]topology.NodeID) *lmacNode {
-	return &lmacNode{node: n, slots: slots, tslot: tslot, owned: owned, bySlot: bySlot}
+	m := &lmacNode{node: n, slots: slots, tslot: tslot, owned: owned, bySlot: bySlot}
+	m.slotStartCb = func(a any) { m.slotStart(a.(int)) }
+	m.slotArgs = make([]any, slots)
+	for s := 0; s < slots; s++ {
+		m.slotArgs[s] = s
+	}
+	m.slotEndFn = m.slotEnd
+	m.ctrlTimeoutFn = m.ctrlTimeout
+	m.nextFrameFn = func() { m.scheduleFrame(m.frameIdx) }
+	return m
 }
 
 // start implements macLayer.
@@ -51,11 +69,11 @@ func (m *lmacNode) scheduleFrame(k int) {
 	epoch := float64(k) * m.frameLen()
 	boundary := func(s int) float64 { return epoch + float64(s)*m.tslot }
 	for s := 0; s < m.slots; s++ {
-		slot := s
-		m.eng.At(boundary(s), func() { m.slotStart(slot) })
-		m.eng.At(boundary(s+1), m.slotEnd)
+		m.eng.AtCall(boundary(s), m.slotStartCb, m.slotArgs[s])
+		m.eng.At(boundary(s+1), m.slotEndFn)
 	}
-	m.eng.At(epoch+m.frameLen(), func() { m.scheduleFrame(k + 1) })
+	m.frameIdx = k + 1
+	m.eng.At(epoch+m.frameLen(), m.nextFrameFn)
 }
 
 // sampled implements macLayer: packets wait for the owned slot.
@@ -70,7 +88,9 @@ func (m *lmacNode) slotStart(s int) {
 		if m.head() != nil && !m.isSink() {
 			announce = m.parent
 		}
-		m.x.Send(&Frame{Kind: FrameCtrl, Src: m.id, Dst: Broadcast, Bytes: m.ctrlBytes, Announce: announce})
+		f := m.newFrame(FrameCtrl, Broadcast, m.ctrlBytes, nil)
+		f.Announce = announce
+		m.x.Send(f)
 		return
 	}
 	// Unowned slots may be empty (no node claimed them); skip listening
@@ -83,7 +103,7 @@ func (m *lmacNode) slotStart(s int) {
 	// The owner may be out of range: give up after the control section's
 	// duration instead of idling through the whole slot.
 	window := interFrameSpacing + m.x.Airtime(m.ctrlBytes) + m.x.prof.CCA
-	m.eng.After(window, m.ctrlTimeout)
+	m.eng.After(window, m.ctrlTimeoutFn)
 }
 
 // ctrlTimeout puts the radio down when no decodable control section
@@ -93,7 +113,7 @@ func (m *lmacNode) ctrlTimeout() {
 		return
 	}
 	if m.x.State() == radio.Rx {
-		m.eng.After(m.x.Airtime(m.ctrlBytes), m.ctrlTimeout)
+		m.eng.After(m.x.Airtime(m.ctrlBytes), m.ctrlTimeoutFn)
 		return
 	}
 	m.phase = lSleep
@@ -112,7 +132,7 @@ func (m *lmacNode) OnTxDone(f *Frame) {
 	case FrameCtrl:
 		if f.Announce != Broadcast && m.head() != nil {
 			// The data section of the owned slot follows immediately.
-			m.x.Send(&Frame{Kind: FrameData, Src: m.id, Dst: m.parent, Bytes: m.dataBytes, Packet: m.head()})
+			m.x.Send(m.newFrame(FrameData, m.parent, m.dataBytes, m.head()))
 			return
 		}
 		m.x.Sleep()

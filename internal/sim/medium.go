@@ -6,6 +6,11 @@ import (
 )
 
 // FrameHandler is the MAC-layer upcall interface of a transceiver.
+//
+// Frames passed to OnFrame and OnTxDone are owned by the medium and are
+// recycled as soon as the upcall returns: implementations must copy any
+// field (and take the Packet pointer) they need afterwards, and must not
+// retain the *Frame itself — e.g. in a deferred closure.
 type FrameHandler interface {
 	// OnFrame delivers a successfully decoded frame (including frames
 	// addressed to other nodes — overhearing is the MAC's business).
@@ -14,42 +19,65 @@ type FrameHandler interface {
 	OnTxDone(f *Frame)
 }
 
-// transmission is one frame in flight.
+// transmission is one frame in flight. Transmissions are pooled by the
+// medium and tracked in an intrusive slice: idx is the element's
+// position in Medium.inflight, maintained by swap-with-last removal.
 type transmission struct {
 	frame *Frame
 	from  topology.NodeID
+	endAt Time  // absolute end-of-airtime instant
+	idx   int32 // position in Medium.inflight, -1 when not in flight
 }
 
 // Medium is the shared radio channel: unit-disk propagation over the
 // network graph, zero propagation delay, and a collision model in which
 // any overlap of two receptions at a listening node corrupts the locked
 // frame (no capture effect).
+//
+// The neighbour lists of the network are cached per node at construction
+// and the in-flight set is a flat slice, so the per-frame hot path
+// (startTx/endTx/busy) does no map or graph lookups and no allocation:
+// transmissions and frames are recycled through free-lists, and the
+// callbacks driving them are allocated once here rather than per event.
 type Medium struct {
 	eng        *Engine
 	net        *topology.Network
 	xcvrs      []*Transceiver
-	carriers   []int // per node: transmissions currently audible
-	inflight   map[*transmission]struct{}
+	carriers   []int               // per node: transmissions currently audible
+	nbrs       [][]topology.NodeID // per node: cached net.Neighbors
+	inflight   []*transmission
 	collisions int
+
+	txPool    []*transmission
+	framePool []*Frame
+
+	startTxCb func(any) // cached: schedule startTx without a new closure
+	endTxCb   func(any) // cached: schedule endTx without a new closure
 }
 
 // NewMedium creates the channel and one transceiver per node.
 func NewMedium(eng *Engine, net *topology.Network, prof radio.Radio) *Medium {
+	n := net.N()
 	m := &Medium{
 		eng:      eng,
 		net:      net,
-		xcvrs:    make([]*Transceiver, net.N()),
-		carriers: make([]int, net.N()),
-		inflight: make(map[*transmission]struct{}),
+		xcvrs:    make([]*Transceiver, n),
+		carriers: make([]int, n),
+		nbrs:     make([][]topology.NodeID, n),
 	}
 	for i := range m.xcvrs {
-		m.xcvrs[i] = &Transceiver{
+		m.nbrs[i] = net.Neighbors(topology.NodeID(i))
+		x := &Transceiver{
 			id:    topology.NodeID(i),
 			med:   m,
 			prof:  prof,
 			state: radio.Sleep,
 		}
+		x.txDoneCb = func(a any) { x.txDone(a.(*Frame)) }
+		m.xcvrs[i] = x
 	}
+	m.startTxCb = func(a any) { m.startTx(a.(*transmission)) }
+	m.endTxCb = func(a any) { m.endTx(a.(*transmission)) }
 	return m
 }
 
@@ -59,11 +87,67 @@ func (m *Medium) Transceiver(id topology.NodeID) *Transceiver { return m.xcvrs[i
 // Collisions returns the number of corrupted receptions so far.
 func (m *Medium) Collisions() int { return m.collisions }
 
+// newFrame returns a zeroed frame from the pool. The medium reclaims it
+// after the transmission ends and every upcall has returned.
+func (m *Medium) newFrame() *Frame {
+	if n := len(m.framePool); n > 0 {
+		f := m.framePool[n-1]
+		m.framePool = m.framePool[:n-1]
+		*f = Frame{}
+		return f
+	}
+	return &Frame{}
+}
+
+// freeFrame returns a frame to the pool.
+func (m *Medium) freeFrame(f *Frame) {
+	if f.pooled {
+		panic("double free of frame")
+	}
+	f.pooled = true
+	f.Packet = nil
+	m.framePool = append(m.framePool, f)
+}
+
+// newTransmission builds a pooled transmission for a frame leaving node
+// `from` with the given airtime.
+func (m *Medium) newTransmission(f *Frame, from topology.NodeID, endAt Time) *transmission {
+	var tx *transmission
+	if n := len(m.txPool); n > 0 {
+		tx = m.txPool[n-1]
+		m.txPool = m.txPool[:n-1]
+	} else {
+		tx = &transmission{}
+	}
+	tx.frame = f
+	tx.from = from
+	tx.endAt = endAt
+	tx.idx = -1
+	return tx
+}
+
+// addInflight appends tx to the in-flight set, recording its index.
+func (m *Medium) addInflight(tx *transmission) {
+	tx.idx = int32(len(m.inflight))
+	m.inflight = append(m.inflight, tx)
+}
+
+// dropInflight removes tx by swapping the last element into its place.
+func (m *Medium) dropInflight(tx *transmission) {
+	i := tx.idx
+	last := len(m.inflight) - 1
+	moved := m.inflight[last]
+	m.inflight[i] = moved
+	moved.idx = i
+	m.inflight[last] = nil
+	m.inflight = m.inflight[:last]
+	tx.idx = -1
+}
+
 // startTx propagates a new transmission to every neighbour of the sender.
-func (m *Medium) startTx(from topology.NodeID, f *Frame, airtime float64) {
-	tx := &transmission{frame: f, from: from}
-	m.inflight[tx] = struct{}{}
-	for _, nb := range m.net.Neighbors(from) {
+func (m *Medium) startTx(tx *transmission) {
+	m.addInflight(tx)
+	for _, nb := range m.nbrs[tx.from] {
 		m.carriers[nb]++
 		x := m.xcvrs[nb]
 		switch {
@@ -79,14 +163,14 @@ func (m *Medium) startTx(from topology.NodeID, f *Frame, airtime float64) {
 		}
 		// Sleeping or transmitting nodes miss the frame entirely.
 	}
-	m.eng.After(airtime, func() { m.endTx(tx) })
+	m.eng.AtCall(tx.endAt, m.endTxCb, tx)
 }
 
-// endTx removes the transmission and delivers it where reception
-// survived.
+// endTx removes the transmission, delivers it where reception survived,
+// and recycles the frame and the transmission record.
 func (m *Medium) endTx(tx *transmission) {
-	delete(m.inflight, tx)
-	for _, nb := range m.net.Neighbors(tx.from) {
+	m.dropInflight(tx)
+	for _, nb := range m.nbrs[tx.from] {
 		m.carriers[nb]--
 		x := m.xcvrs[nb]
 		if x.lock != tx {
@@ -100,6 +184,9 @@ func (m *Medium) endTx(tx *transmission) {
 			x.handler.OnFrame(tx.frame)
 		}
 	}
+	m.freeFrame(tx.frame)
+	tx.frame = nil
+	m.txPool = append(m.txPool, tx)
 }
 
 // busy reports whether the channel is effectively occupied at the node:
@@ -111,7 +198,7 @@ func (m *Medium) busy(id topology.NodeID) bool {
 	if m.carriers[id] > 0 {
 		return true
 	}
-	for _, nb := range m.net.Neighbors(id) {
+	for _, nb := range m.nbrs[id] {
 		if m.xcvrs[nb].state == radio.Tx {
 			return true
 		}
@@ -129,12 +216,13 @@ type Transceiver struct {
 	prof    radio.Radio
 	handler FrameHandler
 
-	state   radio.State
-	since   Time
-	acc     [5]float64 // seconds per radio.State (1-indexed)
-	lock    *transmission
-	lockBad bool
-	sending *Frame
+	state    radio.State
+	since    Time
+	acc      [5]float64 // seconds per radio.State (1-indexed)
+	lock     *transmission
+	lockBad  bool
+	sending  *Frame
+	txDoneCb func(any) // cached: end-of-transmission without a new closure
 }
 
 // SetHandler installs the MAC upcall target; must be called before the
@@ -187,11 +275,11 @@ func (m *Medium) midLock(x *Transceiver) {
 	if m.carriers[x.id] != 1 {
 		return
 	}
-	for tx := range m.inflight {
+	for _, tx := range m.inflight {
 		if tx.frame.Kind != FramePreamble {
 			continue
 		}
-		for _, nb := range m.net.Neighbors(tx.from) {
+		for _, nb := range m.nbrs[tx.from] {
 			if nb == x.id {
 				x.lock = tx
 				x.lockBad = false
@@ -217,22 +305,40 @@ const interFrameSpacing = 32e-6
 // Send puts a frame on the air after interFrameSpacing. Any reception in
 // progress is aborted (the MAC should avoid that via CCA). OnTxDone
 // fires when the airtime elapses; the radio then returns to Listen.
+//
+// The frame is handed over to the medium: it is delivered to receivers
+// when the airtime ends and then recycled (see FrameHandler).
 func (x *Transceiver) Send(f *Frame) {
+	if f.pooled {
+		panic("Send of pooled frame")
+	}
 	x.lock = nil
 	x.lockBad = false
 	x.setState(radio.Tx)
 	x.sending = f
-	airtime := x.prof.FrameAirtime(f.Bytes)
-	x.med.eng.After(interFrameSpacing, func() {
-		x.med.startTx(x.id, f, airtime)
-	})
-	x.med.eng.After(interFrameSpacing+airtime, func() {
-		x.sending = nil
-		x.setState(radio.Listen)
-		if x.handler != nil {
-			x.handler.OnTxDone(f)
-		}
-	})
+	// Both the sender's end-of-transmission upcall and the medium's
+	// delivery run at the same instant; computing it once makes the two
+	// timestamps bit-identical, so scheduling order decides: txDone was
+	// scheduled first and fires first — the sender learns its frame left
+	// the air before receivers process it, exactly as with a real
+	// radio's end-of-transmission interrupt.
+	start := x.med.eng.Now() + interFrameSpacing
+	end := start + x.prof.FrameAirtime(f.Bytes)
+	tx := x.med.newTransmission(f, x.id, end)
+	x.med.eng.AtCall(start, x.med.startTxCb, tx)
+	x.med.eng.AtCall(end, x.txDoneCb, f)
+}
+
+// txDone closes the sender side of a transmission.
+func (x *Transceiver) txDone(f *Frame) {
+	if f.pooled {
+		panic("txDone on pooled frame")
+	}
+	x.sending = nil
+	x.setState(radio.Listen)
+	if x.handler != nil {
+		x.handler.OnTxDone(f)
+	}
 }
 
 // Airtime returns the on-air duration of a frame of the given MAC size.

@@ -11,6 +11,29 @@ import (
 // oldest packet (and counts it) rather than growing without bound.
 const queueCap = 64
 
+// packetArenaBlock is how many packets a packetArena allocates at once.
+const packetArenaBlock = 256
+
+// packetArena bump-allocates packets in blocks so a run does one heap
+// allocation per packetArenaBlock samples instead of one per sample.
+// Packets are never returned individually — duplicates of one packet can
+// live in several queues at once (a lost ACK makes the sender retry a
+// packet its parent already forwarded), so individual reuse would
+// corrupt in-flight state; the whole arena is dropped with the run.
+type packetArena struct {
+	block []Packet
+}
+
+// new returns a fresh zero packet.
+func (a *packetArena) new() *Packet {
+	if len(a.block) == 0 {
+		a.block = make([]Packet, packetArenaBlock)
+	}
+	p := &a.block[0]
+	a.block = a.block[1:]
+	return p
+}
+
 // macLayer is what every protocol implementation exposes to the runner.
 type macLayer interface {
 	FrameHandler
@@ -23,6 +46,7 @@ type macLayer interface {
 // node bundles everything one node's MAC needs: radio, routing, queue,
 // randomness and metrics. The sink is node 0; it runs the same MAC with
 // an empty generator and delivers received packets to the metrics.
+// The forwarding queue is a fixed ring buffer: push/pop never allocate.
 type node struct {
 	eng     *Engine
 	net     *topology.Network
@@ -31,7 +55,10 @@ type node struct {
 	parent  topology.NodeID
 	rng     *rand.Rand
 	metrics *Metrics
-	queue   []*Packet
+
+	queue [queueCap]*Packet
+	qhead int
+	qlen  int
 
 	dataBytes   int
 	ackBytes    int
@@ -59,30 +86,50 @@ func newNode(eng *Engine, net *topology.Network, med *Medium, id topology.NodeID
 // isSink reports whether this node is the data sink.
 func (n *node) isSink() bool { return n.id == 0 }
 
+// newFrame builds a pooled frame originating at this node. The medium
+// reclaims it once the transmission ends (see FrameHandler).
+func (n *node) newFrame(kind FrameKind, dst topology.NodeID, bytes int, pkt *Packet) *Frame {
+	f := n.x.med.newFrame()
+	f.Kind = kind
+	f.Src = n.id
+	f.Dst = dst
+	f.Bytes = bytes
+	f.Packet = pkt
+	return f
+}
+
 // push appends a packet to the forwarding queue, dropping the oldest on
 // overflow.
 func (n *node) push(p *Packet) {
-	if len(n.queue) >= queueCap {
-		n.queue = n.queue[1:]
+	if n.qlen == queueCap {
+		n.queue[n.qhead] = nil
+		n.qhead = (n.qhead + 1) % queueCap
+		n.qlen--
 		n.metrics.recordDropped()
 	}
-	n.queue = append(n.queue, p)
+	n.queue[(n.qhead+n.qlen)%queueCap] = p
+	n.qlen++
 }
 
 // head returns the next packet to send without removing it.
 func (n *node) head() *Packet {
-	if len(n.queue) == 0 {
+	if n.qlen == 0 {
 		return nil
 	}
-	return n.queue[0]
+	return n.queue[n.qhead]
 }
 
 // pop removes the head packet.
 func (n *node) pop() {
-	if len(n.queue) > 0 {
-		n.queue = n.queue[1:]
+	if n.qlen > 0 {
+		n.queue[n.qhead] = nil
+		n.qhead = (n.qhead + 1) % queueCap
+		n.qlen--
 	}
 }
+
+// queueLen returns the number of queued packets.
+func (n *node) queueLen() int { return n.qlen }
 
 // accept handles a data frame addressed to this node: the sink records
 // the delivery, forwarders enqueue for the next hop.

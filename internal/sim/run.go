@@ -150,6 +150,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var nextID int64
+	arena := &packetArena{}
 	for i := 0; i < n; i++ {
 		id := topology.NodeID(i)
 		// Independent per-node streams keep runs reproducible even if
@@ -173,7 +174,7 @@ func Run(cfg Config) (*Result, error) {
 
 	for i, mac := range macs {
 		mac.start()
-		newNodeGenerator(eng, cfg, macs[i], cfg.Network, topology.NodeID(i), metrics, &nextID)
+		newNodeGenerator(eng, cfg, macs[i], cfg.Network, topology.NodeID(i), metrics, &nextID, arena)
 	}
 
 	eng.Run(cfg.Duration)
@@ -198,8 +199,10 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // newNodeGenerator wires the periodic application sampling of one node.
+// Packets come from the run's arena, so steady-state sampling does not
+// hit the heap.
 func newNodeGenerator(eng *Engine, cfg Config, mac macLayer, net *topology.Network,
-	id topology.NodeID, metrics *Metrics, nextID *int64) {
+	id topology.NodeID, metrics *Metrics, nextID *int64, arena *packetArena) {
 	if id == 0 || cfg.SampleRate <= 0 {
 		return
 	}
@@ -208,7 +211,10 @@ func newNodeGenerator(eng *Engine, cfg Config, mac macLayer, net *topology.Netwo
 	var tick func()
 	tick = func() {
 		*nextID++
-		p := &Packet{ID: *nextID, Origin: id, Created: eng.Now()}
+		p := arena.new()
+		p.ID = *nextID
+		p.Origin = id
+		p.Created = eng.Now()
 		metrics.recordGenerated()
 		mac.sampled(p)
 		eng.After(period, tick)

@@ -33,7 +33,9 @@ func (m *xmacNode) tracef(format string, args ...interface{}) {
 
 // xmacNode is the packet-level X-MAC implementation: low-power listening
 // with strobed preambles and early ACK, mirroring the analytic model in
-// internal/macmodel.
+// internal/macmodel. Every recurring callback is allocated once at
+// construction (method values allocate per evaluation), so the steady
+// state schedules without heap work.
 type xmacNode struct {
 	*node
 	tw float64 // wakeup interval (the model's decision variable)
@@ -45,14 +47,24 @@ type xmacNode struct {
 	strobeUntil Time
 	peer        topology.NodeID // handshake counterpart
 
-	pollTimer *Timer
-	gapTimer  *Timer
-	dataTimer *Timer
-	ackTimer  *Timer
+	pollTimer Timer
+	gapTimer  Timer
+	dataTimer Timer
+	ackTimer  Timer
 
 	pollWindow float64
 	gap        float64
 	turn       float64
+
+	pollFn          func()
+	pollExpiredFn   func()
+	gapExpiredFn    func()
+	ackExpiredFn    func()
+	dataExpiredFn   func()
+	attemptSendFn   func()
+	maybeSendFn     func()
+	sendStrobeAckFn func()
+	sendAckFn       func()
 }
 
 func newXMACNode(n *node, tw float64) *xmacNode {
@@ -64,13 +76,26 @@ func newXMACNode(n *node, tw float64) *xmacNode {
 	ackAir := n.x.Airtime(n.ackBytes)
 	x.gap = ackAir + 2*x.turn + n.x.prof.CCA
 	x.pollWindow = strobe + x.gap + 2*n.x.prof.CCA
+	x.pollFn = x.poll
+	x.pollExpiredFn = x.pollExpired
+	x.gapExpiredFn = x.gapExpired
+	x.ackExpiredFn = x.ackExpired
+	x.dataExpiredFn = x.dataExpired
+	x.attemptSendFn = x.attemptSend
+	x.maybeSendFn = x.maybeSend
+	x.sendStrobeAckFn = func() {
+		x.x.Send(x.newFrame(FrameStrobeAck, x.peer, x.ackBytes, nil))
+	}
+	x.sendAckFn = func() {
+		x.x.Send(x.newFrame(FrameAck, x.peer, x.ackBytes, nil))
+	}
 	return x
 }
 
 // start implements macLayer.
 func (m *xmacNode) start() {
 	m.x.Sleep()
-	m.eng.After(m.rng.Float64()*m.tw, m.poll)
+	m.eng.After(m.rng.Float64()*m.tw, m.pollFn)
 }
 
 // sampled implements macLayer.
@@ -83,7 +108,7 @@ func (m *xmacNode) sampled(p *Packet) {
 
 // poll is the periodic channel check.
 func (m *xmacNode) poll() {
-	m.eng.After(m.tw, m.poll)
+	m.eng.After(m.tw, m.pollFn)
 	m.tracef("poll busy=%v", m.busy)
 	if m.busy {
 		return
@@ -91,7 +116,7 @@ func (m *xmacNode) poll() {
 	m.x.Listen()
 	m.phase = xPolling
 	m.busy = true
-	m.pollTimer = m.eng.After(m.pollWindow, m.pollExpired)
+	m.pollTimer = m.eng.After(m.pollWindow, m.pollExpiredFn)
 }
 
 // pollExpired closes the poll unless a reception is still in flight.
@@ -102,7 +127,7 @@ func (m *xmacNode) pollExpired() {
 	}
 	if m.x.State() == radio.Rx || m.x.CarrierBusy() {
 		// Mid-frame: extend until the frame resolves.
-		m.pollTimer = m.eng.After(m.x.Airtime(m.dataBytes), m.pollExpired)
+		m.pollTimer = m.eng.After(m.x.Airtime(m.dataBytes), m.pollExpiredFn)
 		return
 	}
 	m.finishProcedure()
@@ -130,7 +155,7 @@ func (m *xmacNode) maybeSend() {
 
 // attemptSend begins the strobe procedure for the head-of-queue packet.
 func (m *xmacNode) attemptSend() {
-	m.tracef("attemptSend busy=%v qlen=%d", m.busy, len(m.queue))
+	m.tracef("attemptSend busy=%v qlen=%d", m.busy, m.queueLen())
 	if m.busy || m.head() == nil || m.isSink() {
 		return
 	}
@@ -140,7 +165,7 @@ func (m *xmacNode) attemptSend() {
 		// Channel occupied: back off within half a wakeup interval.
 		m.busy = false
 		m.x.Sleep()
-		m.eng.After(m.rng.Float64()*m.tw/2, m.attemptSend)
+		m.eng.After(m.rng.Float64()*m.tw/2, m.attemptSendFn)
 		return
 	}
 	m.peer = m.parent
@@ -151,7 +176,7 @@ func (m *xmacNode) attemptSend() {
 func (m *xmacNode) sendStrobe() {
 	m.tracef("sendStrobe")
 	m.phase = xGap // the gap follows the strobe's OnTxDone
-	m.x.Send(&Frame{Kind: FrameStrobe, Src: m.id, Dst: m.peer, Bytes: m.strobeBytes})
+	m.x.Send(m.newFrame(FrameStrobe, m.peer, m.strobeBytes, nil))
 }
 
 // gapExpired fires when no early ACK arrived within the inter-strobe gap.
@@ -172,7 +197,7 @@ func (m *xmacNode) sendData() {
 	m.tracef("sendData")
 	m.gapTimer.Cancel()
 	m.phase = xWaitAck
-	m.x.Send(&Frame{Kind: FrameData, Src: m.id, Dst: m.peer, Bytes: m.dataBytes, Packet: m.head()})
+	m.x.Send(m.newFrame(FrameData, m.peer, m.dataBytes, m.head()))
 }
 
 // ackExpired fires when the data ACK never came.
@@ -188,7 +213,7 @@ func (m *xmacNode) ackExpired() {
 		m.retries = 0
 	}
 	m.finishProcedure()
-	m.eng.After(m.rng.Float64()*m.tw, m.maybeSend)
+	m.eng.After(m.rng.Float64()*m.tw, m.maybeSendFn)
 }
 
 // OnTxDone implements FrameHandler.
@@ -196,15 +221,15 @@ func (m *xmacNode) OnTxDone(f *Frame) {
 	m.tracef("OnTxDone %v", f.Kind)
 	switch f.Kind {
 	case FrameStrobe:
-		m.gapTimer = m.eng.After(m.gap, m.gapExpired)
+		m.gapTimer = m.eng.After(m.gap, m.gapExpiredFn)
 	case FrameData:
 		ackWait := m.turn + m.x.Airtime(m.ackBytes) + m.turn + m.x.prof.CCA
-		m.ackTimer = m.eng.After(ackWait, m.ackExpired)
+		m.ackTimer = m.eng.After(ackWait, m.ackExpiredFn)
 	case FrameStrobeAck:
 		// Receiver: now expect the data frame.
 		m.phase = xWaitData
 		wait := m.x.Airtime(m.strobeBytes) + m.gap + m.x.Airtime(m.dataBytes) + 4*m.turn
-		m.dataTimer = m.eng.After(wait, m.dataExpired)
+		m.dataTimer = m.eng.After(wait, m.dataExpiredFn)
 	case FrameAck:
 		// Receiver handshake complete.
 		m.finishProcedure()
@@ -231,9 +256,7 @@ func (m *xmacNode) OnFrame(f *Frame) {
 			m.pollTimer.Cancel()
 			m.peer = f.Src
 			m.phase = xWaitData // refined after the strobe-ACK's OnTxDone
-			m.eng.After(m.turn, func() {
-				m.x.Send(&Frame{Kind: FrameStrobeAck, Src: m.id, Dst: f.Src, Bytes: m.ackBytes})
-			})
+			m.eng.After(m.turn, m.sendStrobeAckFn)
 			return
 		}
 		// Foreign traffic: the address in the strobe lets us sleep at
@@ -247,11 +270,9 @@ func (m *xmacNode) OnFrame(f *Frame) {
 	case xWaitData:
 		if f.Kind == FrameData && f.Dst == m.id {
 			m.dataTimer.Cancel()
-			pkt := f.Packet
-			m.eng.After(m.turn, func() {
-				m.x.Send(&Frame{Kind: FrameAck, Src: m.id, Dst: f.Src, Bytes: m.ackBytes})
-			})
-			m.accept(pkt)
+			m.peer = f.Src
+			m.eng.After(m.turn, m.sendAckFn)
+			m.accept(f.Packet)
 		}
 	case xWaitAck:
 		if f.Kind == FrameAck && f.Dst == m.id {

@@ -1,0 +1,79 @@
+package edmac
+
+import (
+	"context"
+
+	"github.com/edmac-project/edmac/internal/core"
+)
+
+// SweepPoint is one cell of a requirement sweep: the requirements, the
+// solved game, and a non-nil Err (wrapping ErrInfeasible) for cells the
+// protocol cannot satisfy even in relaxed mode. Infeasible cells are
+// part of the result because the figures must report them.
+type SweepPoint struct {
+	Requirements Requirements
+	Result       Result
+	Err          error
+}
+
+// SweepMaxDelay solves the paper's Figure 1 series for one protocol —
+// the energy budget fixed, the delay bound taking each value in delays —
+// fanning the independent cells over a worker pool (one worker per CPU).
+// The returned slice is ordered like delays, and every cell is identical
+// to what OptimizeRelaxed returns for that requirement pair: the solvers
+// are deterministic and the models immutable, so parallelism changes
+// only the wall clock. Cancelling ctx abandons unsolved cells and
+// returns ctx.Err(). A nil ctx means context.Background().
+func SweepMaxDelay(ctx context.Context, p Protocol, s Scenario, energyBudget float64, delays []float64) ([]SweepPoint, error) {
+	m, err := s.model(p)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pts, err := core.SweepMaxDelayParallel(ctx, m, energyBudget, delays, 0)
+	if err != nil {
+		return nil, err
+	}
+	return sweepPointsOf(p, pts), nil
+}
+
+// SweepEnergyBudget solves the paper's Figure 2 series for one protocol —
+// the delay bound fixed, the energy budget taking each value in budgets —
+// with the same ordering, determinism and cancellation contract as
+// SweepMaxDelay.
+func SweepEnergyBudget(ctx context.Context, p Protocol, s Scenario, maxDelay float64, budgets []float64) ([]SweepPoint, error) {
+	m, err := s.model(p)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pts, err := core.SweepEnergyBudgetParallel(ctx, m, maxDelay, budgets, 0)
+	if err != nil {
+		return nil, err
+	}
+	return sweepPointsOf(p, pts), nil
+}
+
+// PaperDelays returns the Lmax sweep of the paper's Figure 1 (1..6 s).
+func PaperDelays() []float64 { return core.PaperDelays() }
+
+// PaperBudgets returns the Ebudget sweep of the paper's Figure 2
+// (0.01..0.06 J).
+func PaperBudgets() []float64 { return core.PaperBudgets() }
+
+func sweepPointsOf(p Protocol, pts []core.SweepPoint) []SweepPoint {
+	out := make([]SweepPoint, len(pts))
+	for i, pt := range pts {
+		req := Requirements{EnergyBudget: pt.Requirements.EnergyBudget, MaxDelay: pt.Requirements.MaxDelay}
+		sp := SweepPoint{Requirements: req, Err: pt.Err}
+		if pt.Err == nil {
+			sp.Result = resultOf(p, req, pt.Tradeoff)
+		}
+		out[i] = sp
+	}
+	return out
+}

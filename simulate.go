@@ -60,27 +60,41 @@ type SimReport struct {
 // (its clock-drift machinery is modelled analytically only) and is
 // rejected.
 func Simulate(p Protocol, s Scenario, params []float64, o SimOptions) (SimReport, error) {
+	cfg, env, net, err := prepareSim(p, s, params, o)
+	if err != nil {
+		return SimReport{}, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return SimReport{}, err
+	}
+	return simReportOf(p, params, env, net, res), nil
+}
+
+// prepareSim validates a simulation request and builds the sim.Config
+// plus the immutable context (environment, network) a report needs.
+func prepareSim(p Protocol, s Scenario, params []float64, o SimOptions) (sim.Config, macmodel.Env, *topology.Network, error) {
 	if p == SCPMAC {
-		return SimReport{}, fmt.Errorf("edmac: scpmac is analytic-only; simulate xmac, bmac, dmac or lmac")
+		return sim.Config{}, macmodel.Env{}, nil, fmt.Errorf("edmac: scpmac is analytic-only; simulate xmac, bmac, dmac or lmac")
 	}
 	o = o.withDefaults()
 	env, err := s.env()
 	if err != nil {
-		return SimReport{}, err
+		return sim.Config{}, macmodel.Env{}, nil, err
 	}
 	m, err := macmodel.New(string(p), env)
 	if err != nil {
-		return SimReport{}, err
+		return sim.Config{}, macmodel.Env{}, nil, err
 	}
 	x, err := vec(m, params)
 	if err != nil {
-		return SimReport{}, err
+		return sim.Config{}, macmodel.Env{}, nil, err
 	}
 	net, err := topology.Rings(env.Rings)
 	if err != nil {
-		return SimReport{}, err
+		return sim.Config{}, macmodel.Env{}, nil, err
 	}
-	res, err := sim.Run(sim.Config{
+	return sim.Config{
 		Protocol:   string(p),
 		Network:    net,
 		Radio:      env.Radio,
@@ -89,15 +103,16 @@ func Simulate(p Protocol, s Scenario, params []float64, o SimOptions) (SimReport
 		Payload:    env.Payload,
 		Duration:   o.Duration,
 		Seed:       o.Seed,
-	})
-	if err != nil {
-		return SimReport{}, err
-	}
+	}, env, net, nil
+}
+
+// simReportOf assembles the public report from a raw simulation result.
+func simReportOf(p Protocol, params []float64, env macmodel.Env, net *topology.Network, res *sim.Result) SimReport {
 	outer := env.Rings.Depth
 	return SimReport{
 		Protocol:      p,
 		Params:        append([]float64(nil), params...),
-		Duration:      o.Duration,
+		Duration:      res.Duration,
 		Nodes:         net.N(),
 		Generated:     res.Metrics.Generated(),
 		Delivered:     res.Metrics.Delivered(),
@@ -111,7 +126,7 @@ func Simulate(p Protocol, s Scenario, params []float64, o SimOptions) (SimReport
 			return net.Ring(id) == outer
 		}),
 		BottleneckEnergy: res.MeanRingEnergyPerWindow(net, 1, env.Window),
-	}, nil
+	}
 }
 
 // ValidationReport contrasts the analytic model with the simulator at

@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark ledger, so the performance trajectory of the figure and
+// simulator benchmarks is tracked across PRs (see `make bench`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./tools/benchjson -o BENCH_results.json -label current
+//
+// The ledger maps labels to result sets. An existing file is merged:
+// only the given label's entry is replaced, so a "seed-baseline" section
+// recorded once survives every refresh of "current".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Entry is one labelled benchmark run.
+type Entry struct {
+	RecordedAt string   `json:"recorded_at"`
+	Note       string   `json:"note,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFigure1XMAC-8   572   1836907 ns/op   455000 B/op   25093 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output ledger file")
+	label := flag.String("label", "current", "ledger entry to write")
+	note := flag.String("note", "", "free-form note stored with the entry")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stay transparent: pass the output through
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	ledger := map[string]Entry{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a ledger: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	ledger[*label] = Entry{
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Note:       *note,
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s[%q]\n", len(results), *out, *label)
+}
