@@ -1,13 +1,18 @@
 # Developer entry points. `make bench` refreshes the "current" entry of
 # BENCH_results.json so the perf trajectory of the figure and simulator
 # benchmarks is tracked across PRs; the "seed-baseline" entry records the
-# seed repo and is never overwritten by it.
+# seed repo and is never overwritten by it. `make bench-gate` fails when
+# the hot simulator benchmark regresses beyond GATE_TOL against the
+# committed "ci-baseline" entry (refresh it with `make bench-baseline`
+# whenever a PR intentionally moves the needle).
 
-GO        ?= go
-BENCH     ?= Figure|Frontier|Sweep|SimValidation|SimulatorEventRate|SimulateBatch
-BENCHTIME ?= 1s
+GO         ?= go
+BENCH      ?= Figure|Frontier|Sweep|SimValidation|SimulatorEventRate|SimulateBatch
+BENCHTIME  ?= 1s
+GATE_BENCH ?= SimulatorEventRate
+GATE_TOL   ?= 0.15
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet fmt bench bench-gate bench-baseline suite suite-golden check
 
 build:
 	$(GO) build ./...
@@ -21,9 +26,32 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build test
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+	  echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: fmt vet build test
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \
 	  | $(GO) run ./tools/benchjson -o BENCH_results.json -label current \
 	      -note "make bench ($(BENCH), $(BENCHTIME))"
+
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(GATE_BENCH)' -benchmem -benchtime $(BENCHTIME) -count 3 . \
+	  | $(GO) run ./tools/benchjson -o BENCH_results.json -label ci-current \
+	      -note "make bench-gate ($(GATE_BENCH), $(BENCHTIME) x3)" \
+	      -gate ci-baseline -gate-match '$(GATE_BENCH)' -gate-tol $(GATE_TOL)
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(GATE_BENCH)' -benchmem -benchtime $(BENCHTIME) -count 3 . \
+	  | $(GO) run ./tools/benchjson -o BENCH_results.json -label ci-baseline \
+	      -note "make bench-baseline ($(GATE_BENCH), $(BENCHTIME) x3)"
+
+# The scenario-suite determinism gate: regenerate the full builtin
+# matrix and fail on any byte drift from the committed golden report.
+suite:
+	$(GO) run ./cmd/edsim suite -check cmd/edsim/testdata/suite_golden.json
+
+suite-golden:
+	$(GO) run ./cmd/edsim suite -out cmd/edsim/testdata/suite_golden.json

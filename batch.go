@@ -66,7 +66,8 @@ func SimulateBatch(ctx context.Context, s Scenario, runs []BatchRun, workers int
 			out[i].Err = br.Err
 			continue
 		}
-		out[i].Report = simReportOf(runs[i].Protocol, runs[i].Params, envs[i], nets[i], br.Result)
+		out[i].Report = simReportOf(runs[i].Protocol, runs[i].Params, cfgs[j].Seed,
+			envs[i].Rings.Depth, envs[i].Window, nets[i], br.Result)
 	}
 	return out
 }

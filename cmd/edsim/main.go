@@ -6,12 +6,20 @@
 //	edsim run      -protocol xmac -params 0.25 -duration 1800 -seed 1
 //	edsim validate -protocol lmac -params 15,0.05 -duration 1800
 //	edsim validate -protocol xmac -params 0.25 -reps 8
+//	edsim suite    -list
+//	edsim suite    -out suite.json
+//	edsim suite    -check testdata/suite_golden.json
 //
 // -reps N replicates the run under N consecutive seeds, fanned across
 // every CPU, and reports each replication plus the aggregate — the
 // Monte-Carlo cross-validation of the analytic models. Scenario flags
 // (-depth, -density, -interval, -window, -payload, -radio) are accepted
-// by both subcommands.
+// by run and validate.
+//
+// The suite subcommand plays the declarative scenario matrix (builtin
+// registry × all protocols) in parallel and emits one machine-readable
+// JSON report; -check diffs it byte-for-byte against a committed golden
+// file, the determinism gate CI runs.
 package main
 
 import (
@@ -43,8 +51,10 @@ func run(args []string) error {
 		return cmdRun(rest, false)
 	case "validate":
 		return cmdRun(rest, true)
+	case "suite":
+		return cmdSuite(rest)
 	case "help", "-h", "--help":
-		fmt.Println("subcommands: run, validate")
+		fmt.Println("subcommands: run, validate, suite")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteGolden regenerates the full builtin suite and asserts it is
+// byte-identical to the committed golden report — the engine-level
+// determinism contract (run under -race in CI).
+func TestSuiteGolden(t *testing.T) {
+	if err := run([]string{"suite", "-check", filepath.Join("testdata", "suite_golden.json")}); err != nil {
+		t.Fatalf("suite drifted from golden: %v", err)
+	}
+}
+
+// TestSuiteSelections exercises the subset and error paths of the suite
+// flags.
+func TestSuiteSelections(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "suite.json")
+	err := run([]string{"suite",
+		"-scenarios", "ring-baseline",
+		"-protocols", "xmac,scpmac",
+		"-duration", "120",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatalf("subset suite: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Error("report not newline-terminated")
+	}
+
+	for _, args := range [][]string{
+		{"suite", "-scenarios", "no-such-scenario"},
+		{"suite", "-protocols", "tdma9000"},
+		{"suite", "-spec", filepath.Join(t.TempDir(), "missing.json")},
+		{"suite", "-check", filepath.Join(t.TempDir(), "missing-golden.json"), "-scenarios", "ring-baseline", "-protocols", "scpmac"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestSuiteList asserts -list works without running anything.
+func TestSuiteList(t *testing.T) {
+	if err := run([]string{"suite", "-list"}); err != nil {
+		t.Fatalf("suite -list: %v", err)
+	}
+}
+
+// TestSuiteSpecFile asserts an on-disk spec joins the matrix.
+func TestSuiteSpecFile(t *testing.T) {
+	spec := `{
+  "version": 1,
+  "name": "test-line",
+  "seed": 1,
+  "topology": {"kind": "line", "nodes": 5, "spacing": 0.8},
+  "traffic": {"kind": "periodic", "rate": 0.02},
+  "radio": "cc2420",
+  "payload": 32,
+  "window": 60
+}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "suite.json")
+	if err := run([]string{"suite", "-spec", path, "-protocols", "xmac", "-duration", "120", "-out", out}); err != nil {
+		t.Fatalf("suite -spec: %v", err)
+	}
+}

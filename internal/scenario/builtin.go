@@ -1,0 +1,133 @@
+package scenario
+
+// The builtin registry: a curated matrix of deployment shapes ×
+// workloads that exercises every generator and every traffic model at
+// sizes small enough for CI yet distinct enough to pull the protocols'
+// energy-delay tradeoffs apart. Names are stable — golden suite
+// fixtures and CLI invocations refer to them.
+
+// Builtins returns the built-in scenarios in registry order. The slice
+// is freshly allocated; callers may reorder or extend it.
+func Builtins() []Spec {
+	return []Spec{
+		{
+			SpecVersion: Version,
+			Name:        "ring-baseline",
+			Description: "The paper's concentric-ring convergecast model at CI scale: depth 3, density 3, steady periodic sensing.",
+			Seed:        1,
+			Topology:    TopologySpec{Kind: "ring", Depth: 3, Density: 3},
+			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 120},
+			Radio:       "cc2420",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "disk-meadow",
+			Description: "Sparse random-geometric field on sub-GHz radios: environmental monitoring over a wide meadow.",
+			Seed:        7,
+			Topology:    TopologySpec{Kind: "disk", Nodes: 36, Radius: 2.6},
+			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 150},
+			Radio:       "cc1101",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "disk-dense",
+			Description: "Dense random-geometric deployment: heavy spatial reuse pressure and overhearing.",
+			Seed:        3,
+			Topology:    TopologySpec{Kind: "disk", Nodes: 48, Radius: 1.8},
+			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 90},
+			Radio:       "cc2420",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "grid-campus",
+			Description: "Structured 7x5 lattice with edge-heavy sampling: perimeter rooms report four times as often as the core.",
+			Seed:        1,
+			Topology:    TopologySpec{Kind: "grid", Width: 7, Height: 5, Spacing: 0.9},
+			Traffic:     TrafficSpec{Kind: "heterogeneous", BaseRate: 1.0 / 240, OuterFactor: 4},
+			Radio:       "cc2420",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "tunnel-chain",
+			Description: "A 24-hop road-tunnel chain, the deepest builtin: multi-hop delay accumulation dominates.",
+			Seed:        1,
+			Topology:    TopologySpec{Kind: "line", Nodes: 24, Spacing: 0.8},
+			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 180},
+			Radio:       "cc2420",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "cluster-twotier",
+			Description: "Two-tier clustered deployment: four instrumented machines, each with a pocket of member sensors.",
+			Seed:        5,
+			Topology:    TopologySpec{Kind: "cluster", Clusters: 4, ClusterSize: 6, FieldRadius: 1.8, ClusterRadius: 0.7},
+			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 120},
+			Radio:       "cc2420",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "disk-bursty",
+			Description: "Random field under Markov-modulated on-off load: long silences broken by packet trains.",
+			Seed:        11,
+			Topology:    TopologySpec{Kind: "disk", Nodes: 30, Radius: 2.2},
+			Traffic:     TrafficSpec{Kind: "bursty", PeakRate: 0.1, OnMean: 25, OffMean: 175},
+			Radio:       "cc2420",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "grid-eventwatch",
+			Description: "Lattice surveillance under spatially-correlated events: neighbours report the same stimulus near-simultaneously.",
+			Seed:        1,
+			Topology:    TopologySpec{Kind: "grid", Width: 6, Height: 6, Spacing: 0.8},
+			Traffic:     TrafficSpec{Kind: "event", EventRate: 1.0 / 40, EventRadius: 1.2, BackgroundRate: 1.0 / 600},
+			Radio:       "cc2420",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "tunnel-sentinel",
+			Description: "Pipeline chain whose far end carries the instrumentation: outermost nodes sample five times the base rate.",
+			Seed:        1,
+			Topology:    TopologySpec{Kind: "line", Nodes: 18, Spacing: 0.9},
+			Traffic:     TrafficSpec{Kind: "heterogeneous", BaseRate: 1.0 / 200, OuterFactor: 5},
+			Radio:       "cc1101",
+			Payload:     48,
+			Window:      60,
+		},
+	}
+}
+
+// Names returns the builtin scenario names in registry order.
+func Names() []string {
+	specs := Builtins()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName returns the builtin scenario with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

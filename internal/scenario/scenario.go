@@ -1,0 +1,262 @@
+// Package scenario turns declarative, versioned JSON deployment specs
+// into the concrete objects the rest of the module consumes: an explicit
+// topology.Network, a traffic.Model with its exact per-node flows, and
+// the radio/accounting context. A spec is the single source of truth a
+// scenario suite cell, an analytic model and a simulation run all share,
+// so the three views can never drift apart.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"github.com/edmac-project/edmac/internal/radio"
+	"github.com/edmac-project/edmac/internal/topology"
+	"github.com/edmac-project/edmac/internal/traffic"
+)
+
+// Version is the spec schema version this package reads and writes.
+const Version = 1
+
+// Spec is one declarative scenario: a named deployment shape plus its
+// workload. The zero values of optional fields select nothing — every
+// kind documents which fields it requires.
+type Spec struct {
+	// SpecVersion is the schema version; Parse rejects other versions.
+	SpecVersion int `json:"version"`
+	// Name identifies the scenario (registry key; lowercase-kebab).
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description,omitempty"`
+	// Seed drives topology randomness (random generators resample from
+	// it deterministically). Traffic randomness is seeded per run, not
+	// here.
+	Seed int64 `json:"seed"`
+	// Topology describes the network shape.
+	Topology TopologySpec `json:"topology"`
+	// Traffic describes the workload.
+	Traffic TrafficSpec `json:"traffic"`
+	// Radio names the transceiver profile ("cc2420", "cc1101").
+	Radio string `json:"radio"`
+	// Payload is the application payload in bytes.
+	Payload int `json:"payload"`
+	// Window is the energy-accounting window in seconds.
+	Window float64 `json:"window"`
+}
+
+// TopologySpec selects one topology.Generator. Kind decides which of
+// the remaining fields apply.
+type TopologySpec struct {
+	// Kind is "ring", "disk", "grid", "line" or "cluster".
+	Kind string `json:"kind"`
+	// Depth and Density parameterize "ring".
+	Depth   int `json:"depth,omitempty"`
+	Density int `json:"density,omitempty"`
+	// Nodes and Radius parameterize "disk"; Nodes also sizes "line".
+	Nodes  int     `json:"nodes,omitempty"`
+	Radius float64 `json:"radius,omitempty"`
+	// Width, Height and Spacing parameterize "grid"; Spacing also
+	// applies to "line".
+	Width   int     `json:"width,omitempty"`
+	Height  int     `json:"height,omitempty"`
+	Spacing float64 `json:"spacing,omitempty"`
+	// Clusters, ClusterSize, FieldRadius and ClusterRadius parameterize
+	// "cluster".
+	Clusters      int     `json:"clusters,omitempty"`
+	ClusterSize   int     `json:"cluster_size,omitempty"`
+	FieldRadius   float64 `json:"field_radius,omitempty"`
+	ClusterRadius float64 `json:"cluster_radius,omitempty"`
+}
+
+// Generator materializes the topology family the spec selects.
+func (t TopologySpec) Generator() (topology.Generator, error) {
+	switch t.Kind {
+	case "ring":
+		return topology.RingGen{Model: topology.RingModel{Depth: t.Depth, Density: t.Density}}, nil
+	case "disk":
+		return topology.DiskGen{Nodes: t.Nodes, Radius: t.Radius}, nil
+	case "grid":
+		return topology.GridGen{Width: t.Width, Height: t.Height, Spacing: t.Spacing}, nil
+	case "line":
+		return topology.LineGen{Nodes: t.Nodes, Spacing: t.Spacing}, nil
+	case "cluster":
+		return topology.ClusterGen{
+			Clusters:      t.Clusters,
+			ClusterSize:   t.ClusterSize,
+			FieldRadius:   t.FieldRadius,
+			ClusterRadius: t.ClusterRadius,
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology kind %q (want ring, disk, grid, line or cluster)", t.Kind)
+	}
+}
+
+// TrafficSpec selects one traffic.Model. Kind decides which of the
+// remaining fields apply.
+type TrafficSpec struct {
+	// Kind is "periodic", "bursty", "event" or "heterogeneous".
+	Kind string `json:"kind"`
+	// Rate parameterizes "periodic".
+	Rate float64 `json:"rate,omitempty"`
+	// PeakRate, OnMean and OffMean parameterize "bursty".
+	PeakRate float64 `json:"peak_rate,omitempty"`
+	OnMean   float64 `json:"on_mean,omitempty"`
+	OffMean  float64 `json:"off_mean,omitempty"`
+	// EventRate, EventRadius and BackgroundRate parameterize "event".
+	EventRate      float64 `json:"event_rate,omitempty"`
+	EventRadius    float64 `json:"event_radius,omitempty"`
+	BackgroundRate float64 `json:"background_rate,omitempty"`
+	// BaseRate and OuterFactor parameterize "heterogeneous".
+	BaseRate    float64 `json:"base_rate,omitempty"`
+	OuterFactor float64 `json:"outer_factor,omitempty"`
+}
+
+// Model materializes the traffic model the spec selects.
+func (t TrafficSpec) Model() (traffic.Model, error) {
+	switch t.Kind {
+	case "periodic":
+		return traffic.Periodic{Rate: t.Rate}, nil
+	case "bursty":
+		return traffic.Bursty{PeakRate: t.PeakRate, OnMean: t.OnMean, OffMean: t.OffMean}, nil
+	case "event":
+		return traffic.Event{EventRate: t.EventRate, EventRadius: t.EventRadius, BackgroundRate: t.BackgroundRate}, nil
+	case "heterogeneous":
+		return traffic.Heterogeneous{BaseRate: t.BaseRate, OuterFactor: t.OuterFactor}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown traffic kind %q (want periodic, bursty, event or heterogeneous)", t.Kind)
+	}
+}
+
+// Parse decodes and validates a JSON spec. Unknown fields are rejected
+// so typos fail loudly instead of silently selecting defaults.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Load reads and parses a spec file from disk.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// JSON encodes the spec in the canonical indented form builtin fixtures
+// and examples use.
+func (s Spec) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Validate reports whether the spec is materializable.
+func (s Spec) Validate() error {
+	if s.SpecVersion != Version {
+		return fmt.Errorf("scenario: spec version %d unsupported (this build reads version %d)", s.SpecVersion, Version)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	gen, err := s.Topology.Generator()
+	if err != nil {
+		return err
+	}
+	if err := gen.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	model, err := s.Traffic.Model()
+	if err != nil {
+		return err
+	}
+	if err := model.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if _, err := radio.Profile(s.Radio); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.Payload <= 0 {
+		return fmt.Errorf("scenario %s: payload %d must be positive", s.Name, s.Payload)
+	}
+	if s.Window <= 0 {
+		return fmt.Errorf("scenario %s: window %v must be positive", s.Name, s.Window)
+	}
+	return nil
+}
+
+// Materialized is a spec turned into live objects, the input the
+// analytic models and the simulator share.
+type Materialized struct {
+	// Spec echoes the source description.
+	Spec Spec
+	// Network is the built topology.
+	Network *topology.Network
+	// Traffic is the built workload model.
+	Traffic traffic.Model
+	// Flows are the exact per-node mean flow rates on Network.
+	Flows traffic.NodeFlows
+	// Radio is the resolved transceiver profile.
+	Radio radio.Radio
+}
+
+// Materialize builds the network (resampling deterministically from
+// Spec.Seed until connected), the traffic model and the derived flows.
+// Equal specs always materialize identical objects.
+func (s Spec) Materialize() (*Materialized, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	gen, _ := s.Topology.Generator()
+	net, err := gen.Build(rand.New(rand.NewSource(s.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	model, _ := s.Traffic.Model()
+	flows, err := traffic.ComputeRates(net, model.MeanRates(net))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	prof, _ := radio.Profile(s.Radio)
+	return &Materialized{Spec: s, Network: net, Traffic: model, Flows: flows, Radio: prof}, nil
+}
+
+// MeanRate returns the average per-node generation rate over the
+// non-sink nodes — the homogeneous rate the analytic ring models see.
+func (m *Materialized) MeanRate() float64 {
+	rates := m.Traffic.MeanRates(m.Network)
+	sum := 0.0
+	for i := 1; i < len(rates); i++ {
+		sum += rates[i]
+	}
+	return sum / float64(len(rates)-1)
+}
+
+// EquivalentRing maps the explicit network onto the analytic ring
+// abstraction the closed-form MAC models need: the BFS depth becomes D
+// and the rounded mean degree becomes the density C (floored at 1).
+func (m *Materialized) EquivalentRing() topology.RingModel {
+	density := int(math.Round(m.Network.MeanDegree()))
+	if density < 1 {
+		density = 1
+	}
+	return topology.RingModel{Depth: m.Network.Depth(), Density: density}
+}

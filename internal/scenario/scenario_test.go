@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuiltinsMaterialize asserts every registry entry is valid,
+// materializes a connected network, and produces conserving flows —
+// the gate that keeps the registry runnable.
+func TestBuiltinsMaterialize(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range Builtins() {
+		t.Run(spec.Name, func(t *testing.T) {
+			if seen[spec.Name] {
+				t.Fatalf("duplicate builtin name %q", spec.Name)
+			}
+			seen[spec.Name] = true
+			if spec.Description == "" {
+				t.Error("builtin without description")
+			}
+			m, err := spec.Materialize()
+			if err != nil {
+				t.Fatalf("Materialize: %v", err)
+			}
+			if m.Network.N() < 10 {
+				t.Errorf("only %d nodes; builtins should be non-trivial", m.Network.N())
+			}
+			if m.MeanRate() <= 0 {
+				t.Error("mean rate not positive")
+			}
+			ring := m.EquivalentRing()
+			if err := ring.Validate(); err != nil {
+				t.Errorf("equivalent ring invalid: %v", err)
+			}
+			if ring.Depth != m.Network.Depth() {
+				t.Errorf("equivalent depth %d != network depth %d", ring.Depth, m.Network.Depth())
+			}
+			total := 0.0
+			for i := 1; i < m.Network.N(); i++ {
+				total += m.Traffic.MeanRates(m.Network)[i]
+			}
+			if got := m.Flows.In[0]; got < total-1e-9 || got > total+1e-9 {
+				t.Errorf("sink inflow %v != generated %v", got, total)
+			}
+		})
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d builtins; the registry promises at least 8", len(seen))
+	}
+}
+
+// TestBuiltinsCoverKinds asserts the registry exercises every topology
+// generator and every traffic model at least once.
+func TestBuiltinsCoverKinds(t *testing.T) {
+	topo := map[string]bool{}
+	traf := map[string]bool{}
+	for _, s := range Builtins() {
+		topo[s.Topology.Kind] = true
+		traf[s.Traffic.Kind] = true
+	}
+	for _, kind := range []string{"ring", "disk", "grid", "line", "cluster"} {
+		if !topo[kind] {
+			t.Errorf("no builtin uses topology kind %q", kind)
+		}
+	}
+	for _, kind := range []string{"periodic", "bursty", "event", "heterogeneous"} {
+		if !traf[kind] {
+			t.Errorf("no builtin uses traffic kind %q", kind)
+		}
+	}
+}
+
+// TestParseRoundTrip asserts JSON encode/parse is lossless and that
+// materialization from a round-tripped spec reproduces the network.
+func TestParseRoundTrip(t *testing.T) {
+	for _, spec := range Builtins() {
+		data, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("%s: JSON: %v", spec.Name, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: Parse: %v", spec.Name, err)
+		}
+		if back != spec {
+			t.Errorf("%s: round trip changed the spec:\n  %+v\n  %+v", spec.Name, spec, back)
+		}
+		a, err := spec.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Network.N() != b.Network.N() || a.Network.Depth() != b.Network.Depth() {
+			t.Errorf("%s: round-tripped spec materialized a different network", spec.Name)
+		}
+	}
+}
+
+// TestParseRejects asserts the strict-parsing and validation failure
+// modes fail with telling errors.
+func TestParseRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"bad json", `{`, "parse"},
+		{"unknown field", `{"version":1,"name":"x","typo":1}`, "typo"},
+		{"wrong version", `{"version":99,"name":"x"}`, "version"},
+		{"missing name", `{"version":1,"topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"periodic","rate":0.1},"radio":"cc2420","payload":32,"window":60}`, "name"},
+		{"bad topology kind", `{"version":1,"name":"x","topology":{"kind":"torus"},"traffic":{"kind":"periodic","rate":0.1},"radio":"cc2420","payload":32,"window":60}`, "topology kind"},
+		{"bad traffic kind", `{"version":1,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"chatty"},"radio":"cc2420","payload":32,"window":60}`, "traffic kind"},
+		{"bad radio", `{"version":1,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"periodic","rate":0.1},"radio":"cc9999","payload":32,"window":60}`, "cc9999"},
+		{"bad payload", `{"version":1,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"periodic","rate":0.1},"radio":"cc2420","payload":0,"window":60}`, "payload"},
+		{"bad window", `{"version":1,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"periodic","rate":0.1},"radio":"cc2420","payload":32,"window":0}`, "window"},
+		{"bad generator params", `{"version":1,"name":"x","topology":{"kind":"disk","nodes":0,"radius":2},"traffic":{"kind":"periodic","rate":0.1},"radio":"cc2420","payload":32,"window":60}`, "disk"},
+		{"bad traffic params", `{"version":1,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"bursty","peak_rate":1},"radio":"cc2420","payload":32,"window":60}`, "bursty"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse([]byte(tt.json))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestByName pins registry lookup behaviour.
+func TestByName(t *testing.T) {
+	if _, ok := ByName("ring-baseline"); !ok {
+		t.Error("ring-baseline missing")
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Error("phantom scenario found")
+	}
+	names := Names()
+	if len(names) != len(Builtins()) {
+		t.Errorf("Names() returned %d entries for %d builtins", len(names), len(Builtins()))
+	}
+}

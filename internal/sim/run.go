@@ -8,6 +8,7 @@ import (
 	"github.com/edmac-project/edmac/internal/opt"
 	"github.com/edmac-project/edmac/internal/radio"
 	"github.com/edmac-project/edmac/internal/topology"
+	"github.com/edmac-project/edmac/internal/traffic"
 )
 
 // Config describes one simulation run. The parameter vector uses the
@@ -23,8 +24,15 @@ type Config struct {
 	Radio radio.Radio
 	// Params is the protocol parameter vector (macmodel coordinates).
 	Params opt.Vector
-	// SampleRate is the per-node application rate in packets/second.
+	// SampleRate is the per-node application rate in packets/second. It
+	// drives the legacy phase-shifted periodic generator and is ignored
+	// when Traffic is set.
 	SampleRate float64
+	// Traffic optionally replaces the periodic generator with a traffic
+	// model: every node replays the model's precomputed arrival schedule
+	// (bursty, event-correlated, heterogeneous, ...). The schedules are
+	// derived from Seed, keeping runs exactly reproducible.
+	Traffic traffic.Model
 	// Payload is the application payload in bytes.
 	Payload int
 	// Duration is the simulated time in seconds.
@@ -65,6 +73,11 @@ func (c Config) Validate() error {
 	}
 	if c.SampleRate < 0 {
 		return fmt.Errorf("sim: sample rate %v must be non-negative", c.SampleRate)
+	}
+	if c.Traffic != nil {
+		if err := c.Traffic.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
 	}
 	if c.Payload <= 0 {
 		return fmt.Errorf("sim: payload %d must be positive", c.Payload)
@@ -174,7 +187,11 @@ func Run(cfg Config) (*Result, error) {
 
 	for i, mac := range macs {
 		mac.start()
-		newNodeGenerator(eng, cfg, macs[i], cfg.Network, topology.NodeID(i), metrics, &nextID, arena)
+		if cfg.Traffic != nil {
+			newScheduledGenerator(eng, cfg, macs[i], topology.NodeID(i), metrics, &nextID, arena)
+		} else {
+			newNodeGenerator(eng, cfg, macs[i], cfg.Network, topology.NodeID(i), metrics, &nextID, arena)
+		}
 	}
 
 	eng.Run(cfg.Duration)
@@ -220,4 +237,35 @@ func newNodeGenerator(eng *Engine, cfg Config, mac macLayer, net *topology.Netwo
 		eng.After(period, tick)
 	}
 	eng.After(genRng.Float64()*period, tick)
+}
+
+// newScheduledGenerator replays one node's precomputed traffic-model
+// arrival schedule. The whole schedule is materialized up front (it is
+// deterministic in cfg.Seed), then walked with one chained callback, so
+// steady-state generation allocates nothing beyond the schedule slice.
+func newScheduledGenerator(eng *Engine, cfg Config, mac macLayer,
+	id topology.NodeID, metrics *Metrics, nextID *int64, arena *packetArena) {
+	if id == 0 {
+		return
+	}
+	times := cfg.Traffic.Arrivals(cfg.Network, id, cfg.Seed, cfg.Duration)
+	if len(times) == 0 {
+		return
+	}
+	i := 0
+	var tick func()
+	tick = func() {
+		*nextID++
+		p := arena.new()
+		p.ID = *nextID
+		p.Origin = id
+		p.Created = eng.Now()
+		metrics.recordGenerated()
+		mac.sampled(p)
+		i++
+		if i < len(times) {
+			eng.After(times[i]-times[i-1], tick)
+		}
+	}
+	eng.After(times[0], tick)
 }

@@ -60,6 +60,21 @@ func Rings(m RingModel) (*Network, error) {
 	return New(positions, 1.0)
 }
 
+// buildConnected samples placements until the unit-disk graph comes out
+// connected, retrying up to connectAttempts times — the shared policy of
+// every random generator. kind names the family in the give-up error.
+func buildConnected(kind string, sample func() []Point) (*Network, error) {
+	var lastErr error
+	for a := 0; a < connectAttempts; a++ {
+		net, err := New(sample(), 1.0)
+		if err == nil {
+			return net, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("topology: %s sample stayed disconnected after %d attempts: %w", kind, connectAttempts, lastErr)
+}
+
 // Disk scatters n nodes uniformly at random over a disk of the given
 // radius (in radio-range units) centred on the sink. Generation is
 // deterministic for a given rng state. Disk retries a few times if the
@@ -72,23 +87,14 @@ func Disk(n int, radius float64, rng *rand.Rand) (*Network, error) {
 	if radius <= 0 {
 		return nil, fmt.Errorf("topology: disk radius %v must be positive", radius)
 	}
-	const attempts = 16
-	var lastErr error
-	for a := 0; a < attempts; a++ {
+	return buildConnected("disk", func() []Point {
 		positions := make([]Point, 0, n+1)
 		positions = append(positions, Point{0, 0})
 		for i := 0; i < n; i++ {
-			r := radius * math.Sqrt(rng.Float64())
-			theta := 2 * math.Pi * rng.Float64()
-			positions = append(positions, Point{r * math.Cos(theta), r * math.Sin(theta)})
+			positions = append(positions, uniformInDisk(rng, radius))
 		}
-		net, err := New(positions, 1.0)
-		if err == nil {
-			return net, nil
-		}
-		lastErr = err
-	}
-	return nil, fmt.Errorf("topology: disk sample stayed disconnected after %d attempts: %w", attempts, lastErr)
+		return positions
+	})
 }
 
 // Line places n nodes on a line with the given spacing (in radio-range

@@ -86,7 +86,8 @@ type NodeFlows struct {
 	Background []float64
 }
 
-// Compute derives exact per-node rates on net with sampling rate fs.
+// Compute derives exact per-node rates on net with uniform sampling
+// rate fs — the homogeneous special case of ComputeRates.
 func Compute(net *topology.Network, fs float64) (NodeFlows, error) {
 	if net == nil {
 		return NodeFlows{}, fmt.Errorf("traffic: nil network")
@@ -94,19 +95,49 @@ func Compute(net *topology.Network, fs float64) (NodeFlows, error) {
 	if fs <= 0 {
 		return NodeFlows{}, fmt.Errorf("traffic: sampling rate %v must be positive", fs)
 	}
+	return ComputeRates(net, uniformRates(net, fs))
+}
+
+// ComputeRates derives exact per-node flow rates on net when node i
+// generates at rates[i] packets per second (indexed by NodeID, sink rate
+// ignored) — the general form every traffic Model reduces to via
+// MeanRates. Conservation holds by construction: the sink's In rate
+// equals the sum of all generation rates.
+func ComputeRates(net *topology.Network, rates []float64) (NodeFlows, error) {
+	if net == nil {
+		return NodeFlows{}, fmt.Errorf("traffic: nil network")
+	}
 	n := net.N()
+	if len(rates) != n {
+		return NodeFlows{}, fmt.Errorf("traffic: %d rates for %d nodes", len(rates), n)
+	}
 	flows := NodeFlows{
 		Out:        make([]float64, n),
 		In:         make([]float64, n),
 		Background: make([]float64, n),
 	}
+	total := 0.0
 	for i := 1; i < n; i++ {
-		id := topology.NodeID(i)
-		flows.Out[i] = fs * float64(net.SubtreeSize(id))
-		flows.In[i] = flows.Out[i] - fs
+		if rates[i] < 0 {
+			return NodeFlows{}, fmt.Errorf("traffic: node %d rate %v must be non-negative", i, rates[i])
+		}
+		flows.Out[i] = rates[i]
+		total += rates[i]
+	}
+	// Accumulate subtree loads from the leaves inward: a node transmits
+	// its own samples plus everything its routing children hand it.
+	for d := net.Depth(); d >= 1; d-- {
+		for _, id := range net.NodesAtRing(d) {
+			if p := net.Parent(id); p > 0 {
+				flows.Out[p] += flows.Out[id]
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		flows.In[i] = flows.Out[i] - rates[i]
 	}
 	// The sink receives everything and sends nothing.
-	flows.In[0] = fs * float64(n-1)
+	flows.In[0] = total
 	for i := 0; i < n; i++ {
 		id := topology.NodeID(i)
 		heard := 0.0

@@ -1,0 +1,154 @@
+package edmac
+
+import (
+	"fmt"
+
+	"github.com/edmac-project/edmac/internal/opt"
+	"github.com/edmac-project/edmac/internal/scenario"
+	"github.com/edmac-project/edmac/internal/sim"
+)
+
+// ScenarioSpec is a declarative deployment description: a named network
+// shape (ring, random disk, grid, line/tunnel, two-tier cluster) plus a
+// traffic model (periodic, bursty on-off, spatially-correlated events,
+// heterogeneous per-node rates), parsed from versioned JSON. One spec
+// drives both sides of the framework — the analytic game via Scenario()
+// and the packet-level simulator via SimulateScenario — so the two views
+// always describe the same deployment.
+//
+// Specs are immutable values; the zero ScenarioSpec is invalid and every
+// constructor validates before returning.
+type ScenarioSpec struct {
+	spec scenario.Spec
+}
+
+// LoadScenario reads and validates a JSON scenario spec from disk.
+func LoadScenario(path string) (ScenarioSpec, error) {
+	s, err := scenario.Load(path)
+	if err != nil {
+		return ScenarioSpec{}, err
+	}
+	return ScenarioSpec{spec: s}, nil
+}
+
+// ParseScenario decodes and validates a JSON scenario spec. Unknown
+// fields are rejected so typos fail loudly.
+func ParseScenario(data []byte) (ScenarioSpec, error) {
+	s, err := scenario.Parse(data)
+	if err != nil {
+		return ScenarioSpec{}, err
+	}
+	return ScenarioSpec{spec: s}, nil
+}
+
+// BuiltinScenarios returns the built-in scenario registry in
+// presentation order: a curated matrix of deployment shapes × workloads
+// covering every topology generator and traffic model.
+func BuiltinScenarios() []ScenarioSpec {
+	specs := scenario.Builtins()
+	out := make([]ScenarioSpec, len(specs))
+	for i, s := range specs {
+		out[i] = ScenarioSpec{spec: s}
+	}
+	return out
+}
+
+// BuiltinScenario returns the named built-in scenario.
+func BuiltinScenario(name string) (ScenarioSpec, bool) {
+	s, ok := scenario.ByName(name)
+	if !ok {
+		return ScenarioSpec{}, false
+	}
+	return ScenarioSpec{spec: s}, true
+}
+
+// Name returns the scenario's registry name.
+func (sp ScenarioSpec) Name() string { return sp.spec.Name }
+
+// Description returns the scenario's one-line summary.
+func (sp ScenarioSpec) Description() string { return sp.spec.Description }
+
+// TopologyKind returns the topology family ("ring", "disk", "grid",
+// "line", "cluster").
+func (sp ScenarioSpec) TopologyKind() string { return sp.spec.Topology.Kind }
+
+// TrafficKind returns the traffic model family ("periodic", "bursty",
+// "event", "heterogeneous").
+func (sp ScenarioSpec) TrafficKind() string { return sp.spec.Traffic.Kind }
+
+// JSON returns the spec in its canonical indented JSON encoding.
+func (sp ScenarioSpec) JSON() ([]byte, error) { return sp.spec.JSON() }
+
+// valid reports whether the spec was built by a constructor.
+func (sp ScenarioSpec) valid() error {
+	if sp.spec.Name == "" {
+		return fmt.Errorf("edmac: zero ScenarioSpec; use LoadScenario, ParseScenario or BuiltinScenario")
+	}
+	return nil
+}
+
+// Scenario maps the spec onto the analytic ring abstraction the
+// closed-form models need: the materialized network's BFS depth becomes
+// the ring depth D, its rounded mean degree the density C, and the
+// traffic model's mean per-node rate the sampling rate. This is the
+// bridge that lets the bargaining game pick MAC parameters for any
+// deployment shape, which the simulator then stresses on the explicit
+// network.
+func (sp ScenarioSpec) Scenario() (Scenario, error) {
+	if err := sp.valid(); err != nil {
+		return Scenario{}, err
+	}
+	m, err := sp.spec.Materialize()
+	if err != nil {
+		return Scenario{}, err
+	}
+	return analyticScenarioOf(m), nil
+}
+
+// analyticScenarioOf is the one place a materialized scenario collapses
+// to the analytic ring Scenario — ScenarioSpec.Scenario() and the suite
+// runner must agree on this mapping.
+func analyticScenarioOf(m *scenario.Materialized) Scenario {
+	ring := m.EquivalentRing()
+	return Scenario{
+		Depth:          ring.Depth,
+		Density:        ring.Density,
+		SampleInterval: 1 / m.MeanRate(),
+		Window:         m.Spec.Window,
+		Payload:        m.Spec.Payload,
+		Radio:          m.Spec.Radio,
+	}
+}
+
+// SimulateScenario replays a protocol configuration at packet level on
+// the spec's explicit network under its traffic model. Params use the
+// same coordinates as the analytic model (see Params); SCPMAC is
+// analytic-only and rejected, as in Simulate.
+func SimulateScenario(p Protocol, sp ScenarioSpec, params []float64, o SimOptions) (SimReport, error) {
+	if err := sp.valid(); err != nil {
+		return SimReport{}, err
+	}
+	if p == SCPMAC {
+		return SimReport{}, fmt.Errorf("edmac: scpmac is analytic-only; simulate xmac, bmac, dmac or lmac")
+	}
+	o = o.withDefaults()
+	m, err := sp.spec.Materialize()
+	if err != nil {
+		return SimReport{}, err
+	}
+	cfg := sim.Config{
+		Protocol: string(p),
+		Network:  m.Network,
+		Radio:    m.Radio,
+		Params:   opt.Vector(append([]float64(nil), params...)),
+		Traffic:  m.Traffic,
+		Payload:  sp.spec.Payload,
+		Duration: o.Duration,
+		Seed:     o.Seed,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return SimReport{}, err
+	}
+	return simReportOf(p, params, cfg.Seed, m.Network.Depth(), sp.spec.Window, m.Network, res), nil
+}

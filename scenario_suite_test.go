@@ -1,0 +1,197 @@
+package edmac_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+// TestBuiltinScenarioRegistry asserts the public registry surface: at
+// least eight uniquely named scenarios, each round-trippable through its
+// own JSON and resolvable by name.
+func TestBuiltinScenarioRegistry(t *testing.T) {
+	specs := edmac.BuiltinScenarios()
+	if len(specs) < 8 {
+		t.Fatalf("only %d builtin scenarios; the registry promises at least 8", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		if sp.Name() == "" || seen[sp.Name()] {
+			t.Fatalf("bad or duplicate scenario name %q", sp.Name())
+		}
+		seen[sp.Name()] = true
+		if _, ok := edmac.BuiltinScenario(sp.Name()); !ok {
+			t.Errorf("BuiltinScenario(%q) not found", sp.Name())
+		}
+		data, err := sp.JSON()
+		if err != nil {
+			t.Fatalf("%s: JSON: %v", sp.Name(), err)
+		}
+		back, err := edmac.ParseScenario(data)
+		if err != nil {
+			t.Fatalf("%s: ParseScenario: %v", sp.Name(), err)
+		}
+		if back.Name() != sp.Name() || back.TopologyKind() != sp.TopologyKind() || back.TrafficKind() != sp.TrafficKind() {
+			t.Errorf("%s: round trip changed identity", sp.Name())
+		}
+	}
+	if _, ok := edmac.BuiltinScenario("no-such"); ok {
+		t.Error("phantom scenario resolved")
+	}
+}
+
+// TestLoadScenario asserts a spec written to disk loads and simulates.
+func TestLoadScenario(t *testing.T) {
+	sp, _ := edmac.BuiltinScenario("tunnel-chain")
+	data, err := sp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := edmac.LoadScenario(path)
+	if err != nil {
+		t.Fatalf("LoadScenario: %v", err)
+	}
+	if loaded.Name() != sp.Name() {
+		t.Fatalf("loaded %q, want %q", loaded.Name(), sp.Name())
+	}
+	if _, err := edmac.LoadScenario(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+// TestScenarioEquivalentRing asserts the analytic mapping of a spec is a
+// valid model environment the game can actually be played in.
+func TestScenarioEquivalentRing(t *testing.T) {
+	sp, _ := edmac.BuiltinScenario("grid-campus")
+	s, err := sp.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth < 1 || s.Density < 1 || s.SampleInterval <= 0 {
+		t.Fatalf("degenerate analytic scenario %+v", s)
+	}
+	if _, err := edmac.Params(edmac.XMAC, s); err != nil {
+		t.Fatalf("analytic model rejects the mapped scenario: %v", err)
+	}
+}
+
+// TestSimulateScenario asserts scenario simulation reproducibility and
+// its rejection cases.
+func TestSimulateScenario(t *testing.T) {
+	sp, _ := edmac.BuiltinScenario("disk-bursty")
+	opts := edmac.SimOptions{Duration: 250, Seed: 9}
+	a, err := edmac.SimulateScenario(edmac.XMAC, sp, []float64{0.3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seed != 9 {
+		t.Errorf("report seed %d, want 9", a.Seed)
+	}
+	if a.Generated == 0 {
+		t.Error("bursty scenario generated nothing")
+	}
+	b, err := edmac.SimulateScenario(edmac.XMAC, sp, []float64{0.3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("equal seeds diverged:\n%+v\n%+v", a, b)
+	}
+	opts.Seed = 10
+	c, err := edmac.SimulateScenario(edmac.XMAC, sp, []float64{0.3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Collisions, c.Collisions) && a.Generated == c.Generated && a.MeanDelay == c.MeanDelay {
+		t.Error("different seeds produced an identical run")
+	}
+
+	if _, err := edmac.SimulateScenario(edmac.SCPMAC, sp, []float64{0.3}, opts); err == nil {
+		t.Error("scpmac simulated")
+	}
+	if _, err := edmac.SimulateScenario(edmac.XMAC, edmac.ScenarioSpec{}, []float64{0.3}, opts); err == nil {
+		t.Error("zero spec simulated")
+	}
+	if _, err := edmac.SimulateScenario(edmac.DMAC, sp, []float64{0.3}, opts); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+// TestRunSuiteDeterminism asserts the suite contract: byte-identical
+// JSON for equal inputs, regardless of worker count.
+func TestRunSuiteDeterminism(t *testing.T) {
+	specs := []edmac.ScenarioSpec{}
+	for _, name := range []string{"ring-baseline", "grid-eventwatch"} {
+		sp, ok := edmac.BuiltinScenario(name)
+		if !ok {
+			t.Fatalf("builtin %q missing", name)
+		}
+		specs = append(specs, sp)
+	}
+	protocols := []edmac.Protocol{edmac.XMAC, edmac.LMAC, edmac.SCPMAC}
+	opts := edmac.SuiteOptions{Duration: 200, Seed: 3}
+
+	parallel, err := edmac.RunSuite(context.Background(), specs, protocols, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsSeq := opts
+	optsSeq.Workers = 1
+	sequential, err := edmac.RunSuite(context.Background(), specs, protocols, optsSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := parallel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sequential.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("parallel and sequential suite JSON differ")
+	}
+	if len(parallel.Cells) != len(specs)*len(protocols) {
+		t.Errorf("%d cells, want %d", len(parallel.Cells), len(specs)*len(protocols))
+	}
+	for _, c := range parallel.Cells {
+		if c.Err != "" {
+			t.Errorf("cell %s/%s failed: %s", c.Scenario, c.Protocol, c.Err)
+		}
+		if c.Protocol != edmac.SCPMAC && c.Sim == nil {
+			t.Errorf("cell %s/%s has no simulation", c.Scenario, c.Protocol)
+		}
+		if c.Protocol == edmac.SCPMAC && c.Sim != nil {
+			t.Errorf("scpmac cell %s simulated", c.Scenario)
+		}
+	}
+}
+
+// TestRunSuiteInputs asserts input validation and cancellation.
+func TestRunSuiteInputs(t *testing.T) {
+	sp, _ := edmac.BuiltinScenario("ring-baseline")
+	if _, err := edmac.RunSuite(context.Background(), nil, edmac.Protocols(), edmac.SuiteOptions{}); err == nil {
+		t.Error("empty scenario list accepted")
+	}
+	if _, err := edmac.RunSuite(context.Background(), []edmac.ScenarioSpec{sp}, nil, edmac.SuiteOptions{}); err == nil {
+		t.Error("empty protocol list accepted")
+	}
+	if _, err := edmac.RunSuite(context.Background(), []edmac.ScenarioSpec{{}}, edmac.Protocols(), edmac.SuiteOptions{}); err == nil {
+		t.Error("zero spec accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := edmac.RunSuite(ctx, []edmac.ScenarioSpec{sp}, edmac.Protocols(), edmac.SuiteOptions{Duration: 60}); err == nil {
+		t.Error("cancelled suite returned a report")
+	}
+}

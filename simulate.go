@@ -14,9 +14,18 @@ type SimOptions struct {
 	// Duration is the simulated time in seconds (default 1800).
 	Duration float64
 	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	//
+	// Seed convention: the zero value is a real seed, not "randomize" —
+	// two runs that both leave Seed unset are intentionally identical.
+	// Callers wanting statistically independent replications must supply
+	// distinct seeds (SimulateSeeds does this for a whole batch). The
+	// seed a run actually used is echoed in SimReport.Seed, so reports
+	// are self-describing and reproducible from their own content.
 	Seed int64
 }
 
+// withDefaults fills unset options. Note that Seed is deliberately not
+// defaulted: 0 is a valid seed (see the SimOptions.Seed convention).
 func (o SimOptions) withDefaults() SimOptions {
 	if o.Duration <= 0 {
 		o.Duration = 1800
@@ -29,6 +38,10 @@ type SimReport struct {
 	// Protocol and Params echo the configuration.
 	Protocol Protocol
 	Params   []float64
+	// Seed is the effective random seed the run used (see the
+	// SimOptions.Seed convention); replaying with it reproduces the run
+	// exactly.
+	Seed int64
 	// Duration is the simulated seconds.
 	Duration float64
 	// Nodes is the network size including the sink.
@@ -68,7 +81,7 @@ func Simulate(p Protocol, s Scenario, params []float64, o SimOptions) (SimReport
 	if err != nil {
 		return SimReport{}, err
 	}
-	return simReportOf(p, params, env, net, res), nil
+	return simReportOf(p, params, cfg.Seed, env.Rings.Depth, env.Window, net, res), nil
 }
 
 // prepareSim validates a simulation request and builds the sim.Config
@@ -106,12 +119,14 @@ func prepareSim(p Protocol, s Scenario, params []float64, o SimOptions) (sim.Con
 	}, env, net, nil
 }
 
-// simReportOf assembles the public report from a raw simulation result.
-func simReportOf(p Protocol, params []float64, env macmodel.Env, net *topology.Network, res *sim.Result) SimReport {
-	outer := env.Rings.Depth
+// simReportOf assembles the public report from a raw simulation result:
+// outer is the ring whose packets define the reference delay, window the
+// energy-accounting window in seconds.
+func simReportOf(p Protocol, params []float64, seed int64, outer int, window float64, net *topology.Network, res *sim.Result) SimReport {
 	return SimReport{
 		Protocol:      p,
 		Params:        append([]float64(nil), params...),
+		Seed:          seed,
 		Duration:      res.Duration,
 		Nodes:         net.N(),
 		Generated:     res.Metrics.Generated(),
@@ -125,7 +140,7 @@ func simReportOf(p Protocol, params []float64, env macmodel.Env, net *topology.N
 		OuterRingDelay: res.Metrics.MeanDelayFrom(func(id topology.NodeID) bool {
 			return net.Ring(id) == outer
 		}),
-		BottleneckEnergy: res.MeanRingEnergyPerWindow(net, 1, env.Window),
+		BottleneckEnergy: res.MeanRingEnergyPerWindow(net, 1, window),
 	}
 }
 

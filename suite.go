@@ -1,0 +1,302 @@
+package edmac
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"github.com/edmac-project/edmac/internal/opt"
+	"github.com/edmac-project/edmac/internal/par"
+	"github.com/edmac-project/edmac/internal/scenario"
+	"github.com/edmac-project/edmac/internal/sim"
+)
+
+// SuiteOptions configure a RunSuite matrix run.
+type SuiteOptions struct {
+	// Duration is the simulated seconds per cell (default 400).
+	Duration float64
+	// Seed is the base seed; each cell derives its own seed from it and
+	// the cell's (scenario, protocol) pair, so cells are decorrelated
+	// but the whole suite is reproducible from one number. The zero
+	// value is a real seed (see SimOptions.Seed).
+	Seed int64
+	// Workers bounds the worker pool (one per CPU when < 1).
+	Workers int
+	// EnergyBudget is the per-cell requirement Ebudget in joules per
+	// window (default: the paper's 0.06 J).
+	EnergyBudget float64
+	// MaxDelay is the per-cell delay bound Lmax in seconds. When 0 it
+	// scales with each scenario's depth (3 + 1.2·D), since a bound fit
+	// for a 3-hop ring is unreachable for a 24-hop tunnel.
+	MaxDelay float64
+}
+
+func (o SuiteOptions) withDefaults() SuiteOptions {
+	if o.Duration <= 0 {
+		o.Duration = 400
+	}
+	if o.EnergyBudget <= 0 {
+		o.EnergyBudget = PaperRequirements().EnergyBudget
+	}
+	return o
+}
+
+// SuiteScenario summarizes one materialized scenario of a suite report.
+type SuiteScenario struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Topology    string  `json:"topology"`
+	Traffic     string  `json:"traffic"`
+	Nodes       int     `json:"nodes"`
+	Depth       int     `json:"depth"`
+	MeanDegree  float64 `json:"mean_degree"`
+	// RingDepth and RingDensity are the equivalent analytic ring model
+	// the game was played on.
+	RingDepth   int `json:"ring_depth"`
+	RingDensity int `json:"ring_density"`
+	// MeanRate is the average per-node generation rate in packets/s.
+	MeanRate float64 `json:"mean_rate"`
+}
+
+// SuiteAnalytic is the game-theoretic side of a suite cell: the Nash
+// bargain the framework would deploy.
+type SuiteAnalytic struct {
+	Energy         float64 `json:"energy"`
+	Delay          float64 `json:"delay"`
+	Degenerate     bool    `json:"degenerate,omitempty"`
+	BudgetExceeded bool    `json:"budget_exceeded,omitempty"`
+}
+
+// SuiteSim is the measured side of a suite cell. Delay fields are
+// omitted when nothing qualifying was delivered (they would be NaN).
+type SuiteSim struct {
+	Seed             int64    `json:"seed"`
+	Nodes            int      `json:"nodes"`
+	Generated        int      `json:"generated"`
+	Delivered        int      `json:"delivered"`
+	Dropped          int      `json:"dropped"`
+	Collisions       int      `json:"collisions"`
+	DeliveryRatio    float64  `json:"delivery_ratio"`
+	MeanDelay        *float64 `json:"mean_delay,omitempty"`
+	P95Delay         *float64 `json:"p95_delay,omitempty"`
+	OuterRingDelay   *float64 `json:"outer_ring_delay,omitempty"`
+	BottleneckEnergy float64  `json:"bottleneck_energy"`
+}
+
+// SuiteCell is one (scenario, protocol) entry of a suite report: the
+// requirements played, the bargained parameters, and the analytic and
+// measured outcomes. Err records cells that could not be played (e.g. a
+// delay bound no configuration meets) without aborting the suite.
+type SuiteCell struct {
+	Scenario     string    `json:"scenario"`
+	Protocol     Protocol  `json:"protocol"`
+	EnergyBudget float64   `json:"energy_budget"`
+	MaxDelay     float64   `json:"max_delay"`
+	Params       []float64 `json:"params,omitempty"`
+	// SlotsRaised marks LMAC cells whose slot count the suite raised to
+	// the explicit network's minimum conflict-free schedule — the ring
+	// approximation can under-provision slots for irregular topologies.
+	SlotsRaised bool           `json:"slots_raised,omitempty"`
+	Analytic    *SuiteAnalytic `json:"analytic,omitempty"`
+	Sim         *SuiteSim      `json:"sim,omitempty"`
+	Err         string         `json:"error,omitempty"`
+}
+
+// SuiteReport is the machine-readable outcome of a scenario×protocol
+// matrix run. Equal inputs (specs, protocols, options) produce
+// byte-identical JSON, which is what the golden-fixture CI job diffs.
+type SuiteReport struct {
+	Version   int             `json:"version"`
+	Seed      int64           `json:"seed"`
+	Duration  float64         `json:"duration"`
+	Scenarios []SuiteScenario `json:"scenarios"`
+	Protocols []Protocol      `json:"protocols"`
+	Cells     []SuiteCell     `json:"cells"`
+}
+
+// JSON returns the canonical indented encoding of the report, ending in
+// a newline. Field order is fixed by the struct layout and all floats
+// marshal via Go's shortest-round-trip formatting, so equal reports
+// encode identically on every platform.
+func (r *SuiteReport) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// RunSuite plays the full evaluation matrix — every scenario × every
+// protocol — in parallel on a worker pool. Each cell maps the scenario
+// onto its equivalent analytic ring model, bargains the protocol's
+// parameters under the requirements, then replays the bargain at packet
+// level on the explicit network under the scenario's traffic model
+// (SCPMAC cells stay analytic-only). Cells are independent, so the
+// matrix fans out over the pool with the same determinism contract as
+// every parallel layer in this module: results are bit-identical to the
+// sequential run and ordered scenario-major.
+//
+// Cancelling ctx abandons the suite and returns ctx.Err(). Per-cell
+// failures (an unmeetable delay bound, an unschedulable LMAC frame) are
+// recorded in the cell's Err field and do not stop the run.
+func RunSuite(ctx context.Context, specs []ScenarioSpec, protocols []Protocol, o SuiteOptions) (*SuiteReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("edmac: suite needs at least one scenario")
+	}
+	if len(protocols) == 0 {
+		return nil, fmt.Errorf("edmac: suite needs at least one protocol")
+	}
+	o = o.withDefaults()
+
+	// Materialize every scenario once; cells share the immutable result.
+	type matScenario struct {
+		spec     scenario.Spec
+		mat      *scenario.Materialized
+		analytic Scenario
+		minSlots int
+	}
+	mats := make([]matScenario, len(specs))
+	needSlots := false
+	for _, p := range protocols {
+		if p == LMAC {
+			needSlots = true
+		}
+	}
+	for i, sp := range specs {
+		if err := sp.valid(); err != nil {
+			return nil, err
+		}
+		m, err := sp.spec.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		mats[i] = matScenario{spec: sp.spec, mat: m, analytic: analyticScenarioOf(m)}
+		if needSlots {
+			mats[i].minSlots = m.Network.MinSlots()
+		}
+	}
+
+	report := &SuiteReport{
+		Version:   scenario.Version,
+		Seed:      o.Seed,
+		Duration:  o.Duration,
+		Scenarios: make([]SuiteScenario, len(mats)),
+		Protocols: append([]Protocol(nil), protocols...),
+		Cells:     make([]SuiteCell, len(mats)*len(protocols)),
+	}
+	for i, ms := range mats {
+		report.Scenarios[i] = SuiteScenario{
+			Name:        ms.spec.Name,
+			Description: ms.spec.Description,
+			Topology:    ms.spec.Topology.Kind,
+			Traffic:     ms.spec.Traffic.Kind,
+			Nodes:       ms.mat.Network.N(),
+			Depth:       ms.mat.Network.Depth(),
+			MeanDegree:  ms.mat.Network.MeanDegree(),
+			RingDepth:   ms.analytic.Depth,
+			RingDensity: ms.analytic.Density,
+			MeanRate:    ms.mat.MeanRate(),
+		}
+	}
+
+	err := par.ForEach(ctx, len(report.Cells), o.Workers, func(idx int) {
+		ms := mats[idx/len(protocols)]
+		p := protocols[idx%len(protocols)]
+		report.Cells[idx] = runSuiteCell(ms.spec, ms.mat, ms.analytic, ms.minSlots, p, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// runSuiteCell plays one (scenario, protocol) cell.
+func runSuiteCell(spec scenario.Spec, mat *scenario.Materialized, analytic Scenario,
+	minSlots int, p Protocol, o SuiteOptions) SuiteCell {
+	maxDelay := o.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 3 + 1.2*float64(mat.Network.Depth())
+	}
+	cell := SuiteCell{
+		Scenario:     spec.Name,
+		Protocol:     p,
+		EnergyBudget: o.EnergyBudget,
+		MaxDelay:     maxDelay,
+	}
+	res, err := OptimizeRelaxed(p, analytic, Requirements{EnergyBudget: o.EnergyBudget, MaxDelay: maxDelay})
+	if err != nil {
+		cell.Err = err.Error()
+		return cell
+	}
+	cell.Params = res.Bargain.Params
+	cell.Analytic = &SuiteAnalytic{
+		Energy:         res.Bargain.Energy,
+		Delay:          res.Bargain.Delay,
+		Degenerate:     res.Degenerate,
+		BudgetExceeded: res.BudgetExceeded,
+	}
+	if p == SCPMAC {
+		// Analytic-only protocol: the cell ends at the bargain.
+		return cell
+	}
+	params := append([]float64(nil), cell.Params...)
+	if p == LMAC && int(math.Round(params[0])) < minSlots {
+		params[0] = float64(minSlots)
+		cell.SlotsRaised = true
+	}
+	cfg := sim.Config{
+		Protocol: string(p),
+		Network:  mat.Network,
+		Radio:    mat.Radio,
+		Params:   opt.Vector(params),
+		Traffic:  mat.Traffic,
+		Payload:  spec.Payload,
+		Duration: o.Duration,
+		Seed:     suiteCellSeed(o.Seed, spec.Name, p),
+	}
+	simRes, err := sim.Run(cfg)
+	if err != nil {
+		cell.Err = err.Error()
+		return cell
+	}
+	rep := simReportOf(p, params, cfg.Seed, mat.Network.Depth(), spec.Window, mat.Network, simRes)
+	cell.Sim = &SuiteSim{
+		Seed:             rep.Seed,
+		Nodes:            rep.Nodes,
+		Generated:        rep.Generated,
+		Delivered:        rep.Delivered,
+		Dropped:          rep.Dropped,
+		Collisions:       rep.Collisions,
+		DeliveryRatio:    rep.DeliveryRatio,
+		MeanDelay:        finiteOrNil(rep.MeanDelay),
+		P95Delay:         finiteOrNil(rep.P95Delay),
+		OuterRingDelay:   finiteOrNil(rep.OuterRingDelay),
+		BottleneckEnergy: rep.BottleneckEnergy,
+	}
+	return cell
+}
+
+// suiteCellSeed derives a cell's simulation seed from the base seed and
+// the cell's identity, so cells are mutually decorrelated yet stable
+// under registry reordering.
+func suiteCellSeed(base int64, scenarioName string, p Protocol) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(scenarioName))
+	h.Write([]byte{'/'})
+	h.Write([]byte(p))
+	return base ^ int64(h.Sum64())
+}
+
+// finiteOrNil boxes a float for JSON, dropping NaN/Inf values (which
+// encoding/json rejects) by omission.
+func finiteOrNil(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}

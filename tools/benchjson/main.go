@@ -9,6 +9,13 @@
 // The ledger maps labels to result sets. An existing file is merged:
 // only the given label's entry is replaced, so a "seed-baseline" section
 // recorded once survives every refresh of "current".
+//
+// With -gate LABEL the command additionally compares the entry it just
+// wrote against the ledger's LABEL entry and exits non-zero when any
+// benchmark selected by -gate-match regressed by more than -gate-tol in
+// ns/op or allocs/op — the CI benchmark-regression gate (see `make
+// bench-gate`). Repeated lines of one benchmark (-count=N) are reduced
+// to their minimum first, so scheduler noise inflates neither side.
 package main
 
 import (
@@ -48,6 +55,9 @@ func main() {
 	out := flag.String("o", "BENCH_results.json", "output ledger file")
 	label := flag.String("label", "current", "ledger entry to write")
 	note := flag.String("note", "", "free-form note stored with the entry")
+	gate := flag.String("gate", "", "baseline ledger entry to gate against (empty: no gating)")
+	gateMatch := flag.String("gate-match", ".", "regexp selecting the benchmarks the gate checks")
+	gateTol := flag.Float64("gate-tol", 0.15, "allowed fractional regression in ns/op and allocs/op")
 	flag.Parse()
 
 	var results []Result
@@ -100,4 +110,95 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s[%q]\n", len(results), *out, *label)
+
+	if *gate != "" {
+		base, ok := ledger[*gate]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate label %q not in %s\n", *gate, *out)
+			os.Exit(1)
+		}
+		match, err := regexp.Compile(*gateMatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -gate-match:", err)
+			os.Exit(1)
+		}
+		if !checkGate(base.Results, results, match, *gateTol, *gate) {
+			os.Exit(2)
+		}
+	}
+}
+
+// metric is one benchmark's gated measurements, reduced to the minimum
+// over repeated runs.
+type metric struct {
+	ns     float64
+	allocs int64
+}
+
+// minByName reduces result lines to per-benchmark minima.
+func minByName(results []Result, match *regexp.Regexp) map[string]metric {
+	mins := map[string]metric{}
+	for _, r := range results {
+		if !match.MatchString(r.Name) {
+			continue
+		}
+		m, ok := mins[r.Name]
+		if !ok || r.NsPerOp < m.ns {
+			m.ns = r.NsPerOp
+		}
+		if !ok || r.AllocsPerOp < m.allocs {
+			m.allocs = r.AllocsPerOp
+		}
+		mins[r.Name] = m
+	}
+	return mins
+}
+
+// checkGate compares current results against the baseline and reports
+// whether every gated benchmark stayed within tolerance on both ns/op
+// and allocs/op.
+func checkGate(baseline, current []Result, match *regexp.Regexp, tol float64, gateLabel string) bool {
+	base := minByName(baseline, match)
+	cur := minByName(current, match)
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: gate %q matches no baseline benchmark\n", match)
+		return false
+	}
+	ok := true
+	for name, b := range base {
+		c, found := cur[name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: benchmark missing from current run\n", name)
+			ok = false
+			continue
+		}
+		benchOK := true
+		nsRatio := c.ns / b.ns
+		if nsRatio > 1+tol {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: %.0f ns/op vs baseline %.0f (%+.1f%% > %.0f%%)\n",
+				name, c.ns, b.ns, 100*(nsRatio-1), 100*tol)
+			benchOK = false
+		}
+		if b.allocs > 0 {
+			allocRatio := float64(c.allocs) / float64(b.allocs)
+			if allocRatio > 1+tol {
+				fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: %d allocs/op vs baseline %d (%+.1f%% > %.0f%%)\n",
+					name, c.allocs, b.allocs, 100*(allocRatio-1), 100*tol)
+				benchOK = false
+			}
+		} else if c.allocs > b.allocs {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: %d allocs/op vs baseline %d\n", name, c.allocs, b.allocs)
+			benchOK = false
+		}
+		if benchOK {
+			fmt.Fprintf(os.Stderr, "benchjson: gate ok %s: %.0f ns/op (baseline %.0f), %d allocs/op (baseline %d)\n",
+				name, c.ns, b.ns, c.allocs, b.allocs)
+		} else {
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Fprintf(os.Stderr, "benchjson: gate passed against %q (tolerance %.0f%%)\n", gateLabel, 100*tol)
+	}
+	return ok
 }
