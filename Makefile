@@ -12,7 +12,7 @@ BENCHTIME  ?= 1s
 GATE_BENCH ?= SimulatorEventRate
 GATE_TOL   ?= 0.15
 
-.PHONY: build test race vet fmt bench bench-gate bench-baseline suite suite-golden check
+.PHONY: build test race vet fmt bench bench-gate bench-baseline suite golden suite-golden check
 
 build:
 	$(GO) build ./...
@@ -53,5 +53,12 @@ bench-baseline:
 suite:
 	$(GO) run ./cmd/edsim suite -check cmd/edsim/testdata/suite_golden.json
 
-suite-golden:
+# Regenerate the committed suite golden deterministically. Every PR that
+# intentionally moves suite output runs this and commits the result; CI
+# runs it too and fails on a dirty diff, so the golden can never drift
+# from the code that claims to produce it.
+golden:
 	$(GO) run ./cmd/edsim suite -out cmd/edsim/testdata/suite_golden.json
+
+# Back-compat alias for the old target name.
+suite-golden: golden

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -44,6 +45,32 @@ func TestSuiteSelections(t *testing.T) {
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestSuiteAdaptiveFlag asserts -adaptive forces per-phase
+// re-bargaining on a phased scenario even when the suite would
+// otherwise honour the spec's own adaptation block.
+func TestSuiteAdaptiveFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "suite.json")
+	err := run([]string{"suite",
+		"-scenarios", "meadow-stormcycle",
+		"-protocols", "xmac",
+		"-duration", "120",
+		"-adaptive",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatalf("adaptive suite: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"adaptive": true`, `"phases"`, `"static_sim"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("adaptive report missing %s", want)
 		}
 	}
 }

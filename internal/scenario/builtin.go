@@ -8,10 +8,16 @@ package scenario
 
 // Builtins returns the built-in scenarios in registry order. The slice
 // is freshly allocated; callers may reorder or extend it.
+//
+// The stationary scenarios declare spec version 1 — they need nothing
+// newer, and their JSON stays byte-identical across the version-2
+// schema extension. The non-stationary scenarios at the end declare
+// version 2 and carry a per-phase adaptation default, so a default
+// suite run commits the adaptive-vs-static comparison to its golden.
 func Builtins() []Spec {
 	return []Spec{
 		{
-			SpecVersion: Version,
+			SpecVersion: 1,
 			Name:        "ring-baseline",
 			Description: "The paper's concentric-ring convergecast model at CI scale: depth 3, density 3, steady periodic sensing.",
 			Seed:        1,
@@ -22,7 +28,7 @@ func Builtins() []Spec {
 			Window:      60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 1,
 			Name:        "disk-meadow",
 			Description: "Sparse random-geometric field on sub-GHz radios: environmental monitoring over a wide meadow.",
 			Seed:        7,
@@ -33,7 +39,7 @@ func Builtins() []Spec {
 			Window:      60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 1,
 			Name:        "disk-dense",
 			Description: "Dense random-geometric deployment: heavy spatial reuse pressure and overhearing.",
 			Seed:        3,
@@ -44,7 +50,7 @@ func Builtins() []Spec {
 			Window:      60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 1,
 			Name:        "grid-campus",
 			Description: "Structured 7x5 lattice with edge-heavy sampling: perimeter rooms report four times as often as the core.",
 			Seed:        1,
@@ -55,7 +61,7 @@ func Builtins() []Spec {
 			Window:      60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 1,
 			Name:        "tunnel-chain",
 			Description: "A 24-hop road-tunnel chain, the deepest builtin: multi-hop delay accumulation dominates.",
 			Seed:        1,
@@ -66,7 +72,7 @@ func Builtins() []Spec {
 			Window:      60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 1,
 			Name:        "cluster-twotier",
 			Description: "Two-tier clustered deployment: four instrumented machines, each with a pocket of member sensors.",
 			Seed:        5,
@@ -77,7 +83,7 @@ func Builtins() []Spec {
 			Window:      60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 1,
 			Name:        "disk-bursty",
 			Description: "Random field under Markov-modulated on-off load: long silences broken by packet trains.",
 			Seed:        11,
@@ -88,7 +94,7 @@ func Builtins() []Spec {
 			Window:      60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 1,
 			Name:        "grid-eventwatch",
 			Description: "Lattice surveillance under spatially-correlated events: neighbours report the same stimulus near-simultaneously.",
 			Seed:        1,
@@ -99,7 +105,7 @@ func Builtins() []Spec {
 			Window:      60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 1,
 			Name:        "tunnel-sentinel",
 			Description: "Pipeline chain whose far end carries the instrumentation: outermost nodes sample five times the base rate.",
 			Seed:        1,
@@ -108,6 +114,38 @@ func Builtins() []Spec {
 			Radio:       "cc1101",
 			Payload:     48,
 			Window:      60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "meadow-stormcycle",
+			Description: "Non-stationary field monitoring: long calm sampling, a bursty storm surge, then calm again; re-bargained per phase.",
+			Seed:        7,
+			Topology:    TopologySpec{Kind: "disk", Nodes: 30, Radius: 2.2},
+			Phases: []PhaseSpec{
+				{Name: "calm", Traffic: TrafficSpec{Kind: "periodic", Rate: 1.0 / 300}, Duration: 160},
+				{Name: "storm", Traffic: TrafficSpec{Kind: "bursty", PeakRate: 0.1, OnMean: 20, OffMean: 40}, Duration: 80},
+				{Name: "recovery", Traffic: TrafficSpec{Kind: "periodic", Rate: 1.0 / 300}, Duration: 160},
+			},
+			Adaptation: &AdaptationSpec{Mode: AdaptPerPhase},
+			Radio:      "cc2420",
+			Payload:    32,
+			Window:     60,
+		},
+		{
+			SpecVersion: Version,
+			Name:        "grid-nightwatch",
+			Description: "Lattice surveillance through a quiet shift, an event storm of correlated detections, and the quiet after; re-bargained per phase.",
+			Seed:        1,
+			Topology:    TopologySpec{Kind: "grid", Width: 6, Height: 6, Spacing: 0.8},
+			Phases: []PhaseSpec{
+				{Name: "quiet", Traffic: TrafficSpec{Kind: "periodic", Rate: 1.0 / 360}, Duration: 150},
+				{Name: "storm", Traffic: TrafficSpec{Kind: "event", EventRate: 1.0 / 15, EventRadius: 1.2, BackgroundRate: 1.0 / 600}, Duration: 100},
+				{Name: "quiet-after", Traffic: TrafficSpec{Kind: "periodic", Rate: 1.0 / 360}, Duration: 150},
+			},
+			Adaptation: &AdaptationSpec{Mode: AdaptPerPhase},
+			Radio:      "cc2420",
+			Payload:    32,
+			Window:     60,
 		},
 	}
 }

@@ -19,14 +19,22 @@ import (
 	"github.com/edmac-project/edmac/internal/traffic"
 )
 
-// Version is the spec schema version this package reads and writes.
-const Version = 1
+// Version is the newest spec schema version this package writes.
+// Version-2 specs add non-stationary workloads: a `phases` array of
+// consecutive traffic windows and an optional `adaptation` block
+// selecting how suites play them. Version-1 specs remain readable
+// unchanged.
+const Version = 2
+
+// minVersion is the oldest spec schema version still accepted.
+const minVersion = 1
 
 // Spec is one declarative scenario: a named deployment shape plus its
 // workload. The zero values of optional fields select nothing — every
 // kind documents which fields it requires.
 type Spec struct {
-	// SpecVersion is the schema version; Parse rejects other versions.
+	// SpecVersion is the schema version; Parse rejects versions outside
+	// [minVersion, Version].
 	SpecVersion int `json:"version"`
 	// Name identifies the scenario (registry key; lowercase-kebab).
 	Name string `json:"name"`
@@ -38,14 +46,56 @@ type Spec struct {
 	Seed int64 `json:"seed"`
 	// Topology describes the network shape.
 	Topology TopologySpec `json:"topology"`
-	// Traffic describes the workload.
-	Traffic TrafficSpec `json:"traffic"`
+	// Traffic describes a stationary workload. Exactly one of Traffic
+	// and Phases must be set.
+	Traffic TrafficSpec `json:"traffic,omitzero"`
+	// Phases (version 2) composes a non-stationary workload from
+	// consecutive stationary windows; at least two are required.
+	Phases []PhaseSpec `json:"phases,omitempty"`
+	// Adaptation (version 2) selects how a suite plays a phased
+	// scenario; nil means static.
+	Adaptation *AdaptationSpec `json:"adaptation,omitempty"`
 	// Radio names the transceiver profile ("cc2420", "cc1101").
 	Radio string `json:"radio"`
 	// Payload is the application payload in bytes.
 	Payload int `json:"payload"`
 	// Window is the energy-accounting window in seconds.
 	Window float64 `json:"window"`
+}
+
+// PhaseSpec is one window of a version-2 phased workload.
+type PhaseSpec struct {
+	// Name labels the phase in reports (optional).
+	Name string `json:"name,omitempty"`
+	// Traffic is the stationary workload active during the phase.
+	Traffic TrafficSpec `json:"traffic"`
+	// Duration is the phase length in seconds.
+	Duration float64 `json:"duration"`
+}
+
+// Adaptation modes: Static plays one bargain from the long-run mean
+// rate; PerPhase re-plays the bargain at every phase boundary from that
+// phase's own mean rates (the online re-bargaining runtime).
+const (
+	AdaptStatic   = "static"
+	AdaptPerPhase = "per-phase"
+)
+
+// AdaptationSpec selects how suites play a phased scenario.
+type AdaptationSpec struct {
+	// Mode is "static" or "per-phase".
+	Mode string `json:"mode"`
+}
+
+// validAdaptation reports whether the block is usable.
+func (a *AdaptationSpec) valid() error {
+	switch a.Mode {
+	case AdaptStatic, AdaptPerPhase:
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown adaptation mode %q (want %q or %q)",
+			a.Mode, AdaptStatic, AdaptPerPhase)
+	}
 }
 
 // TopologySpec selects one topology.Generator. Kind decides which of
@@ -169,13 +219,59 @@ func (s Spec) JSON() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// TrafficKind returns the workload family the spec selects — the
+// stationary model's kind, or "phased" for a version-2 phase
+// composition.
+func (s Spec) TrafficKind() string {
+	if len(s.Phases) > 0 {
+		return "phased"
+	}
+	return s.Traffic.Kind
+}
+
+// trafficModel materializes the workload: the stationary model, or the
+// phase composition spliced into a traffic.Phased.
+func (s Spec) trafficModel() (traffic.Model, error) {
+	if len(s.Phases) == 0 {
+		return s.Traffic.Model()
+	}
+	phases := make([]traffic.Phase, len(s.Phases))
+	for i, ph := range s.Phases {
+		m, err := ph.Traffic.Model()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: phase %d: %w", i, err)
+		}
+		phases[i] = traffic.Phase{Model: m, Duration: ph.Duration}
+	}
+	return traffic.Phased{Phases: phases}, nil
+}
+
 // Validate reports whether the spec is materializable.
 func (s Spec) Validate() error {
-	if s.SpecVersion != Version {
-		return fmt.Errorf("scenario: spec version %d unsupported (this build reads version %d)", s.SpecVersion, Version)
+	if s.SpecVersion < minVersion || s.SpecVersion > Version {
+		return fmt.Errorf("scenario: spec version %d unsupported (this build reads versions %d-%d)",
+			s.SpecVersion, minVersion, Version)
 	}
 	if s.Name == "" {
 		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if s.SpecVersion < 2 && (len(s.Phases) > 0 || s.Adaptation != nil) {
+		return fmt.Errorf("scenario %s: phases and adaptation need spec version 2 (got %d)", s.Name, s.SpecVersion)
+	}
+	if len(s.Phases) > 0 {
+		if s.Traffic != (TrafficSpec{}) {
+			return fmt.Errorf("scenario %s: traffic and phases are mutually exclusive", s.Name)
+		}
+		if len(s.Phases) < 2 {
+			return fmt.Errorf("scenario %s: a phased workload needs at least 2 phases (one phase is just traffic)", s.Name)
+		}
+	} else if s.Adaptation != nil {
+		return fmt.Errorf("scenario %s: adaptation needs a phased workload", s.Name)
+	}
+	if s.Adaptation != nil {
+		if err := s.Adaptation.valid(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
 	}
 	gen, err := s.Topology.Generator()
 	if err != nil {
@@ -184,7 +280,7 @@ func (s Spec) Validate() error {
 	if err := gen.Validate(); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
-	model, err := s.Traffic.Model()
+	model, err := s.trafficModel()
 	if err != nil {
 		return err
 	}
@@ -230,7 +326,7 @@ func (s Spec) Materialize() (*Materialized, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
-	model, _ := s.Traffic.Model()
+	model, _ := s.trafficModel()
 	flows, err := traffic.ComputeRates(net, model.MeanRates(net))
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)

@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/edmac-project/edmac/internal/traffic"
 )
 
 // TestBuiltinsMaterialize asserts every registry entry is valid,
@@ -57,14 +60,14 @@ func TestBuiltinsCoverKinds(t *testing.T) {
 	traf := map[string]bool{}
 	for _, s := range Builtins() {
 		topo[s.Topology.Kind] = true
-		traf[s.Traffic.Kind] = true
+		traf[s.TrafficKind()] = true
 	}
 	for _, kind := range []string{"ring", "disk", "grid", "line", "cluster"} {
 		if !topo[kind] {
 			t.Errorf("no builtin uses topology kind %q", kind)
 		}
 	}
-	for _, kind := range []string{"periodic", "bursty", "event", "heterogeneous"} {
+	for _, kind := range []string{"periodic", "bursty", "event", "heterogeneous", "phased"} {
 		if !traf[kind] {
 			t.Errorf("no builtin uses traffic kind %q", kind)
 		}
@@ -83,7 +86,7 @@ func TestParseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: Parse: %v", spec.Name, err)
 		}
-		if back != spec {
+		if !reflect.DeepEqual(back, spec) {
 			t.Errorf("%s: round trip changed the spec:\n  %+v\n  %+v", spec.Name, spec, back)
 		}
 		a, err := spec.Materialize()
@@ -119,6 +122,16 @@ func TestParseRejects(t *testing.T) {
 		{"bad window", `{"version":1,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"periodic","rate":0.1},"radio":"cc2420","payload":32,"window":0}`, "window"},
 		{"bad generator params", `{"version":1,"name":"x","topology":{"kind":"disk","nodes":0,"radius":2},"traffic":{"kind":"periodic","rate":0.1},"radio":"cc2420","payload":32,"window":60}`, "disk"},
 		{"bad traffic params", `{"version":1,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"bursty","peak_rate":1},"radio":"cc2420","payload":32,"window":60}`, "bursty"},
+		{"phases in v1", `{"version":1,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"phases":[{"traffic":{"kind":"periodic","rate":0.1},"duration":50},{"traffic":{"kind":"periodic","rate":0.2},"duration":50}],"radio":"cc2420","payload":32,"window":60}`, "version 2"},
+		{"adaptation in v1", `{"version":1,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"periodic","rate":0.1},"adaptation":{"mode":"per-phase"},"radio":"cc2420","payload":32,"window":60}`, "version 2"},
+		{"traffic and phases", `{"version":2,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"periodic","rate":0.1},"phases":[{"traffic":{"kind":"periodic","rate":0.1},"duration":50},{"traffic":{"kind":"periodic","rate":0.2},"duration":50}],"radio":"cc2420","payload":32,"window":60}`, "mutually exclusive"},
+		{"single phase", `{"version":2,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"phases":[{"traffic":{"kind":"periodic","rate":0.1},"duration":50}],"radio":"cc2420","payload":32,"window":60}`, "at least 2"},
+		{"adaptation without phases", `{"version":2,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"periodic","rate":0.1},"adaptation":{"mode":"per-phase"},"radio":"cc2420","payload":32,"window":60}`, "phased workload"},
+		{"bad adaptation mode", `{"version":2,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"phases":[{"traffic":{"kind":"periodic","rate":0.1},"duration":50},{"traffic":{"kind":"periodic","rate":0.2},"duration":50}],"adaptation":{"mode":"psychic"},"radio":"cc2420","payload":32,"window":60}`, "adaptation mode"},
+		{"unknown phase field", `{"version":2,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"phases":[{"traffic":{"kind":"periodic","rate":0.1},"duration":50,"typo":1},{"traffic":{"kind":"periodic","rate":0.2},"duration":50}],"radio":"cc2420","payload":32,"window":60}`, "typo"},
+		{"bad phase duration", `{"version":2,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"phases":[{"traffic":{"kind":"periodic","rate":0.1},"duration":0},{"traffic":{"kind":"periodic","rate":0.2},"duration":50}],"radio":"cc2420","payload":32,"window":60}`, "duration"},
+		{"bad phase traffic", `{"version":2,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"phases":[{"traffic":{"kind":"chatty"},"duration":50},{"traffic":{"kind":"periodic","rate":0.2},"duration":50}],"radio":"cc2420","payload":32,"window":60}`, "traffic kind"},
+		{"nested phased", `{"version":2,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"phases":[{"traffic":{"kind":"phased"},"duration":50},{"traffic":{"kind":"periodic","rate":0.2},"duration":50}],"radio":"cc2420","payload":32,"window":60}`, "traffic kind"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -130,6 +143,60 @@ func TestParseRejects(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tt.want)
 			}
 		})
+	}
+}
+
+// TestPhasedSpec asserts the version-2 surface: a phased spec parses,
+// reports TrafficKind "phased", materializes a traffic.Phased aligned
+// with its declared durations, and a version-1 spec of the same shape
+// still parses unchanged.
+func TestPhasedSpec(t *testing.T) {
+	spec, ok := ByName("meadow-stormcycle")
+	if !ok {
+		t.Fatal("meadow-stormcycle missing from the registry")
+	}
+	if spec.TrafficKind() != "phased" {
+		t.Fatalf("TrafficKind %q, want phased", spec.TrafficKind())
+	}
+	if spec.Adaptation == nil || spec.Adaptation.Mode != AdaptPerPhase {
+		t.Fatalf("adaptation %+v, want per-phase", spec.Adaptation)
+	}
+	m, err := spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased, ok := m.Traffic.(traffic.Phased)
+	if !ok {
+		t.Fatalf("materialized %T, want traffic.Phased", m.Traffic)
+	}
+	if len(phased.Phases) != len(spec.Phases) {
+		t.Fatalf("%d materialized phases for %d declared", len(phased.Phases), len(spec.Phases))
+	}
+	for i, ph := range phased.Phases {
+		if ph.Duration != spec.Phases[i].Duration {
+			t.Errorf("phase %d duration %v, want %v", i, ph.Duration, spec.Phases[i].Duration)
+		}
+		if ph.Model.Kind() != spec.Phases[i].Traffic.Kind {
+			t.Errorf("phase %d kind %q, want %q", i, ph.Model.Kind(), spec.Phases[i].Traffic.Kind)
+		}
+	}
+
+	v1, ok := ByName("ring-baseline")
+	if !ok {
+		t.Fatal("ring-baseline missing")
+	}
+	if v1.SpecVersion != 1 {
+		t.Fatalf("stationary builtin declares version %d, want 1", v1.SpecVersion)
+	}
+	data, err := v1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "phases") || strings.Contains(string(data), "adaptation") {
+		t.Error("version-1 JSON gained version-2 fields")
+	}
+	if _, err := Parse(data); err != nil {
+		t.Fatalf("version-1 spec no longer parses: %v", err)
 	}
 }
 

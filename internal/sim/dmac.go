@@ -44,7 +44,8 @@ type dmacNode struct {
 
 	phase    dmacPhase
 	retries  int
-	frameIdx int // index of the next frame to arm
+	frameIdx int  // index of the next frame to arm
+	base     Time // schedule anchor: the instant start() ran
 	// skipFrames mutes the transmit slot for a few frames after a failed
 	// attempt (binary exponential backoff in frame units): two hidden
 	// senders whose data collided would otherwise retry in the very same
@@ -94,6 +95,10 @@ func newDMACNode(n *node, frame, mu float64, depth int) *dmacNode {
 // start implements macLayer.
 func (m *dmacNode) start() {
 	m.x.Sleep()
+	// Anchoring the frame ladder at the start instant (zero in a fixed
+	// run, the epoch boundary in a phased one) keeps the network-wide
+	// slot alignment DMAC assumes.
+	m.base = m.eng.Now()
 	m.scheduleFrame(0)
 }
 
@@ -103,7 +108,7 @@ func (m *dmacNode) start() {
 // are bit-identical floats and scheduling order decides: the close must
 // run first or the node would skip its own transmit slot.
 func (m *dmacNode) scheduleFrame(k int) {
-	epoch := float64(k) * m.frame
+	epoch := m.base + float64(k)*m.frame
 	boundary := func(slot int) float64 { return epoch + float64(slot)*m.mu }
 	// Depth-D nodes transmit at slot index 0; a node at ring d transmits
 	// at index D−d, receiving from its children in the slot before.

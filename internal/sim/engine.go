@@ -174,6 +174,19 @@ func (e *Engine) release(slot int32) {
 	e.free = slot
 }
 
+// DropPending cancels every pending event at once, releasing all slots
+// to the free-list. The clock and the processed counter keep their
+// values. Phased runs use it at epoch boundaries: everything the old
+// parameter regime still had in flight (poll chains, in-flight frame
+// endings, protocol timeouts) is discarded before the next regime's MAC
+// layer is installed.
+func (e *Engine) DropPending() {
+	for _, slot := range e.order {
+		e.release(slot)
+	}
+	e.order = e.order[:0]
+}
+
 // Run executes events in timestamp order until the queue empties or the
 // next event lies beyond `until`; the clock then advances to `until`.
 func (e *Engine) Run(until Time) {

@@ -31,7 +31,8 @@ type lmacNode struct {
 	bySlot map[int]topology.NodeID
 
 	phase    lmacPhase
-	frameIdx int // index of the next frame to arm
+	frameIdx int  // index of the next frame to arm
+	base     Time // schedule anchor: the instant start() ran
 
 	slotStartCb   func(any)
 	slotArgs      []any // pre-boxed slot indices for slotStartCb
@@ -56,6 +57,10 @@ func newLMACNode(n *node, slots int, tslot float64, owned int, bySlot map[int]to
 // start implements macLayer.
 func (m *lmacNode) start() {
 	m.x.Sleep()
+	// Anchoring the frame schedule at the start instant (zero in a
+	// fixed run, the epoch boundary in a phased one) keeps slot
+	// boundaries aligned across all nodes of the regime.
+	m.base = m.eng.Now()
 	m.scheduleFrame(0)
 }
 
@@ -66,7 +71,7 @@ func (m *lmacNode) frameLen() float64 { return float64(m.slots) * m.tslot }
 // slot s+1's start are bit-identical floats; the end event is scheduled
 // first and therefore runs first.
 func (m *lmacNode) scheduleFrame(k int) {
-	epoch := float64(k) * m.frameLen()
+	epoch := m.base + float64(k)*m.frameLen()
 	boundary := func(s int) float64 { return epoch + float64(s)*m.tslot }
 	for s := 0; s < m.slots; s++ {
 		m.eng.AtCall(boundary(s), m.slotStartCb, m.slotArgs[s])

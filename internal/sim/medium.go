@@ -46,6 +46,7 @@ type Medium struct {
 	carriers   []int               // per node: transmissions currently audible
 	nbrs       [][]topology.NodeID // per node: cached net.Neighbors
 	inflight   []*transmission
+	committed  []*transmission // sent but still inside the inter-frame spacing
 	collisions int
 
 	txPool    []*transmission
@@ -144,8 +145,24 @@ func (m *Medium) dropInflight(tx *transmission) {
 	tx.idx = -1
 }
 
+// dropCommitted removes tx from the committed set (a linear scan: the
+// set holds at most the transmissions inside one inter-frame spacing,
+// almost always a single element).
+func (m *Medium) dropCommitted(tx *transmission) {
+	for i, c := range m.committed {
+		if c == tx {
+			last := len(m.committed) - 1
+			m.committed[i] = m.committed[last]
+			m.committed[last] = nil
+			m.committed = m.committed[:last]
+			return
+		}
+	}
+}
+
 // startTx propagates a new transmission to every neighbour of the sender.
 func (m *Medium) startTx(tx *transmission) {
+	m.dropCommitted(tx)
 	m.addInflight(tx)
 	for _, nb := range m.nbrs[tx.from] {
 		m.carriers[nb]++
@@ -187,6 +204,45 @@ func (m *Medium) endTx(tx *transmission) {
 	m.freeFrame(tx.frame)
 	tx.frame = nil
 	m.txPool = append(m.txPool, tx)
+}
+
+// quiesce clears the channel at an epoch boundary: every in-flight
+// transmission is abandoned (its end event has already been dropped from
+// the engine), carrier counts reset, and every transceiver is forced to
+// Sleep with its time-in-state accounting settled up to the boundary —
+// energy metering carries across the swap without a gap. Frames lost
+// mid-air are not deliveries and not collisions; the packets they
+// carried remain in their senders' queues wherever the protocol
+// confirms before popping, so the next regime retries them.
+func (m *Medium) quiesce() {
+	for _, tx := range m.inflight {
+		m.freeFrame(tx.frame)
+		tx.frame = nil
+		tx.idx = -1
+		m.txPool = append(m.txPool, tx)
+	}
+	m.inflight = m.inflight[:0]
+	// Transmissions committed by Send but still inside the inter-frame
+	// spacing never reached the in-flight set (their startTx event was
+	// dropped); reclaim them too so the pools stay leak-free.
+	for i, tx := range m.committed {
+		m.freeFrame(tx.frame)
+		tx.frame = nil
+		m.txPool = append(m.txPool, tx)
+		m.committed[i] = nil
+	}
+	m.committed = m.committed[:0]
+	for i := range m.carriers {
+		m.carriers[i] = 0
+	}
+	for _, x := range m.xcvrs {
+		x.lock = nil
+		x.lockBad = false
+		x.sending = nil
+		// Bypass Sleep()'s in-transmission guard: the transmission this
+		// radio was making no longer exists.
+		x.setState(radio.Sleep)
+	}
 }
 
 // busy reports whether the channel is effectively occupied at the node:
@@ -325,6 +381,7 @@ func (x *Transceiver) Send(f *Frame) {
 	start := x.med.eng.Now() + interFrameSpacing
 	end := start + x.prof.FrameAirtime(f.Bytes)
 	tx := x.med.newTransmission(f, x.id, end)
+	x.med.committed = append(x.med.committed, tx)
 	x.med.eng.AtCall(start, x.med.startTxCb, tx)
 	x.med.eng.AtCall(end, x.txDoneCb, f)
 }

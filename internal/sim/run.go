@@ -144,47 +144,17 @@ func Run(cfg Config) (*Result, error) {
 	metrics := &Metrics{}
 
 	n := cfg.Network.N()
-	macs := make([]macLayer, n)
-
-	// LMAC needs a global two-hop conflict-free schedule.
-	var slots []int
-	var bySlot map[int]topology.NodeID
-	if cfg.Protocol == "lmac" {
-		frameSlots := int(math.Round(cfg.Params[0]))
-		var err error
-		slots, _, err = cfg.Network.AssignSlots(frameSlots)
-		if err != nil {
-			return nil, fmt.Errorf("sim: lmac schedule: %w", err)
-		}
-		bySlot = make(map[int]topology.NodeID, n)
-		for id, s := range slots {
-			bySlot[s] = topology.NodeID(id)
-		}
+	nodes := buildNodes(cfg, eng, med, metrics)
+	macs, err := buildMACs(cfg.Protocol, cfg.Params, cfg.Network, nodes)
+	if err != nil {
+		return nil, err
+	}
+	for i, mac := range macs {
+		med.Transceiver(topology.NodeID(i)).SetHandler(mac)
 	}
 
 	var nextID int64
 	arena := &packetArena{}
-	for i := 0; i < n; i++ {
-		id := topology.NodeID(i)
-		// Independent per-node streams keep runs reproducible even if
-		// one node's draw count changes.
-		nodeRng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1000003 + 1))
-		nd := newNode(eng, cfg.Network, med, id, nodeRng, metrics, cfg.Payload)
-		var mac macLayer
-		switch cfg.Protocol {
-		case "xmac":
-			mac = newXMACNode(nd, cfg.Params[0])
-		case "bmac":
-			mac = newBMACNode(nd, cfg.Params[0])
-		case "dmac":
-			mac = newDMACNode(nd, cfg.Params[0], cfg.Params[1], cfg.Network.Depth())
-		case "lmac":
-			mac = newLMACNode(nd, int(math.Round(cfg.Params[0])), cfg.Params[1], slots[i], bySlot)
-		}
-		med.Transceiver(id).SetHandler(mac)
-		macs[i] = mac
-	}
-
 	for i, mac := range macs {
 		mac.start()
 		if cfg.Traffic != nil {
@@ -195,9 +165,65 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng.Run(cfg.Duration)
+	return collectResult(cfg.Duration, eng, med, metrics, n), nil
+}
 
+// buildNodes constructs the per-node state of a run. The seed formula
+// gives every node an independent random stream, so runs stay
+// reproducible even if one node's draw count changes; Run and RunPhased
+// share this construction — part of what makes a one-phase RunPhased
+// bit-identical to Run.
+func buildNodes(cfg Config, eng *Engine, med *Medium, metrics *Metrics) []*node {
+	n := cfg.Network.N()
+	nodes := make([]*node, n)
+	for i := 0; i < n; i++ {
+		nodeRng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1000003 + 1))
+		nodes[i] = newNode(eng, cfg.Network, med, topology.NodeID(i), nodeRng, metrics, cfg.Payload)
+	}
+	return nodes
+}
+
+// buildMACs constructs one protocol instance per node over the shared
+// node state. Run uses it once; RunPhased calls it at every epoch
+// boundary with the next parameter vector, reusing the same nodes so
+// queues, randomness streams and metrics carry across the swap.
+func buildMACs(protocol string, params opt.Vector, net *topology.Network, nodes []*node) ([]macLayer, error) {
+	n := net.N()
+	// LMAC needs a global two-hop conflict-free schedule.
+	var slots []int
+	var bySlot map[int]topology.NodeID
+	if protocol == "lmac" {
+		frameSlots := int(math.Round(params[0]))
+		var err error
+		slots, _, err = net.AssignSlots(frameSlots)
+		if err != nil {
+			return nil, fmt.Errorf("sim: lmac schedule: %w", err)
+		}
+		bySlot = make(map[int]topology.NodeID, n)
+		for id, s := range slots {
+			bySlot[s] = topology.NodeID(id)
+		}
+	}
+	macs := make([]macLayer, n)
+	for i := 0; i < n; i++ {
+		switch protocol {
+		case "xmac":
+			macs[i] = newXMACNode(nodes[i], params[0])
+		case "bmac":
+			macs[i] = newBMACNode(nodes[i], params[0])
+		case "dmac":
+			macs[i] = newDMACNode(nodes[i], params[0], params[1], net.Depth())
+		case "lmac":
+			macs[i] = newLMACNode(nodes[i], int(math.Round(params[0])), params[1], slots[i], bySlot)
+		}
+	}
+	return macs, nil
+}
+
+// collectResult assembles the public result after the engine drained.
+func collectResult(duration float64, eng *Engine, med *Medium, metrics *Metrics, n int) *Result {
 	res := &Result{
-		Duration:   cfg.Duration,
+		Duration:   duration,
 		Metrics:    metrics,
 		Collisions: med.Collisions(),
 		Events:     eng.Processed(),
@@ -212,7 +238,7 @@ func Run(cfg Config) (*Result, error) {
 		res.ListenTime[i] = x.TimeIn(radio.Listen) + x.TimeIn(radio.Rx)
 		res.TxTime[i] = x.TimeIn(radio.Tx)
 	}
-	return res, nil
+	return res
 }
 
 // newNodeGenerator wires the periodic application sampling of one node.
@@ -241,8 +267,10 @@ func newNodeGenerator(eng *Engine, cfg Config, mac macLayer, net *topology.Netwo
 
 // newScheduledGenerator replays one node's precomputed traffic-model
 // arrival schedule. The whole schedule is materialized up front (it is
-// deterministic in cfg.Seed), then walked with one chained callback, so
-// steady-state generation allocates nothing beyond the schedule slice.
+// deterministic in cfg.Seed), then walked by scheduleArrivals' chained
+// callback, so steady-state generation allocates nothing beyond the
+// schedule slice. (At time zero, scheduleArrivals' first delta
+// times[0]-Now() is bit-identical to times[0].)
 func newScheduledGenerator(eng *Engine, cfg Config, mac macLayer,
 	id topology.NodeID, metrics *Metrics, nextID *int64, arena *packetArena) {
 	if id == 0 {
@@ -252,20 +280,5 @@ func newScheduledGenerator(eng *Engine, cfg Config, mac macLayer,
 	if len(times) == 0 {
 		return
 	}
-	i := 0
-	var tick func()
-	tick = func() {
-		*nextID++
-		p := arena.new()
-		p.ID = *nextID
-		p.Origin = id
-		p.Created = eng.Now()
-		metrics.recordGenerated()
-		mac.sampled(p)
-		i++
-		if i < len(times) {
-			eng.After(times[i]-times[i-1], tick)
-		}
-	}
-	eng.After(times[0], tick)
+	scheduleArrivals(eng, times, mac, id, metrics, nextID, arena)
 }

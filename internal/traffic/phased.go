@@ -1,0 +1,153 @@
+package traffic
+
+import (
+	"fmt"
+
+	"github.com/edmac-project/edmac/internal/topology"
+)
+
+// PhaseWindow is one phase's absolute time span within a run: the phase
+// is active during [Start, End).
+type PhaseWindow struct {
+	Start, End float64
+}
+
+// Duration returns the window's length in seconds (0 for a window the
+// run never reaches).
+func (w PhaseWindow) Duration() float64 { return w.End - w.Start }
+
+// Phase is one window of a Phased workload: a traffic model that
+// drives the network for Duration seconds before the next phase takes
+// over.
+type Phase struct {
+	// Model is the workload active during this phase. Nesting Phased
+	// models is rejected.
+	Model Model
+	// Duration is the phase length in seconds.
+	Duration float64
+}
+
+// Phased composes existing traffic models over consecutive time windows
+// — the non-stationary workloads (quiet baseline, bursty surge, event
+// storm, recovery) that a one-shot stationary model cannot express.
+//
+// Both consumers of the Model interface stay exact: MeanRates is the
+// duration-weighted average of the phases' mean rates (the long-run rate
+// the static analytic bridge sees), and Arrivals splices the phases'
+// exact schedules at the declared boundaries, so a phased run is as
+// reproducible as a stationary one. Per-phase rates — what an adaptation
+// controller re-bargains from — are reachable through the exported
+// Phases slice and Windows.
+//
+// When a run outlives the declared phases the last phase stretches to
+// cover the remainder; when a run is shorter, trailing phases are
+// truncated or never reached.
+type Phased struct {
+	Phases []Phase
+}
+
+// Kind returns "phased".
+func (m Phased) Kind() string { return "phased" }
+
+// Validate reports whether the phase composition is usable.
+func (m Phased) Validate() error {
+	if len(m.Phases) == 0 {
+		return fmt.Errorf("traffic: phased model needs at least one phase")
+	}
+	for i, ph := range m.Phases {
+		if ph.Model == nil {
+			return fmt.Errorf("traffic: phase %d has no model", i)
+		}
+		if _, nested := ph.Model.(Phased); nested {
+			return fmt.Errorf("traffic: phase %d nests another phased model", i)
+		}
+		if ph.Duration <= 0 {
+			return fmt.Errorf("traffic: phase %d duration %v must be positive", i, ph.Duration)
+		}
+		if err := ph.Model.Validate(); err != nil {
+			return fmt.Errorf("traffic: phase %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Total returns the declared length of all phases in seconds.
+func (m Phased) Total() float64 {
+	total := 0.0
+	for _, ph := range m.Phases {
+		total += ph.Duration
+	}
+	return total
+}
+
+// Windows returns each phase's absolute span within a run of the given
+// duration, in phase order: consecutive declared durations, with the
+// last phase stretched to the end of a longer run and later phases
+// clipped (possibly to empty) by a shorter one.
+func (m Phased) Windows(duration float64) []PhaseWindow {
+	wins := make([]PhaseWindow, len(m.Phases))
+	start := 0.0
+	for i, ph := range m.Phases {
+		end := start + ph.Duration
+		if i == len(m.Phases)-1 && duration > end {
+			end = duration
+		}
+		if end > duration {
+			end = duration
+		}
+		wins[i] = PhaseWindow{Start: start, End: end}
+		start = end
+	}
+	return wins
+}
+
+// MeanRates returns every node's long-run average rate: the
+// duration-weighted mean of the phases' rates over the declared total —
+// what the static (non-adaptive) analytic bridge plays the game on.
+func (m Phased) MeanRates(net *topology.Network) []float64 {
+	rates := make([]float64, net.N())
+	total := m.Total()
+	for _, ph := range m.Phases {
+		w := ph.Duration / total
+		for i, r := range ph.Model.MeanRates(net) {
+			rates[i] += w * r
+		}
+	}
+	return rates
+}
+
+// phaseSeed derives phase k's private seed, decorrelating the phases'
+// randomness without touching the sub-models' own node/salt streams.
+func phaseSeed(seed int64, k int) int64 {
+	const weyl = int64(-7046029254386353131) // golden-ratio increment 0x9E3779B97F4A7C15
+	return seed ^ (int64(k)+1)*weyl
+}
+
+// Arrivals splices the phases' exact schedules: phase k's sub-model
+// generates within its own local window and every instant is shifted by
+// the phase start, so the boundaries lose and duplicate nothing — each
+// arrival lies strictly inside exactly one phase window.
+func (m Phased) Arrivals(net *topology.Network, id topology.NodeID, seed int64, duration float64) []float64 {
+	if id == 0 {
+		return nil
+	}
+	var times []float64
+	for k, win := range m.Windows(duration) {
+		d := win.Duration()
+		if d <= 0 {
+			continue
+		}
+		for _, t := range m.Phases[k].Model.Arrivals(net, id, phaseSeed(seed, k), d) {
+			at := win.Start + t
+			// Sub-models emit within (0, d); the shift cannot move an
+			// arrival past the boundary except by float rounding, which
+			// this guard absorbs.
+			if at < win.End {
+				times = append(times, at)
+			}
+		}
+	}
+	return times
+}
+
+var _ Model = Phased{}

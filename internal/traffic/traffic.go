@@ -75,6 +75,20 @@ func (f RingFlows) Background(d int) float64 {
 // convergecast is always ring 1.
 func (f RingFlows) Bottleneck() int { return 1 }
 
+// MeanNonSinkRate averages a MeanRates vector over the non-sink nodes —
+// the one definition of "mean per-node rate" the analytic bridge, the
+// adaptation controller and the suite all share.
+func MeanNonSinkRate(rates []float64) float64 {
+	if len(rates) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rates[1:] {
+		sum += r
+	}
+	return sum / float64(len(rates)-1)
+}
+
 // NodeFlows holds exact per-node rates for an explicit network, indexed
 // by topology.NodeID. The sink (ID 0) neither samples nor transmits.
 type NodeFlows struct {

@@ -73,8 +73,13 @@ func (sp ScenarioSpec) Description() string { return sp.spec.Description }
 func (sp ScenarioSpec) TopologyKind() string { return sp.spec.Topology.Kind }
 
 // TrafficKind returns the traffic model family ("periodic", "bursty",
-// "event", "heterogeneous").
-func (sp ScenarioSpec) TrafficKind() string { return sp.spec.Traffic.Kind }
+// "event", "heterogeneous", or "phased" for a version-2 non-stationary
+// composition).
+func (sp ScenarioSpec) TrafficKind() string { return sp.spec.TrafficKind() }
+
+// Phased reports whether the scenario's workload is a version-2 phase
+// composition — the scenarios an adaptive suite re-bargains per phase.
+func (sp ScenarioSpec) Phased() bool { return len(sp.spec.Phases) > 0 }
 
 // JSON returns the spec in its canonical indented JSON encoding.
 func (sp ScenarioSpec) JSON() ([]byte, error) { return sp.spec.JSON() }

@@ -52,7 +52,13 @@ type SimReport struct {
 	Delivered  int
 	Dropped    int
 	Collisions int
-	// DeliveryRatio is Delivered/Generated.
+	// DeliveryRatio is Delivered/Generated, defined as 0 when the run
+	// generated nothing (a low-rate workload over a short duration), so
+	// reports always carry a finite, JSON-encodable value. Delivered
+	// counts sink receptions, which include protocol-level duplicates —
+	// a lost ACK (or an epoch-boundary reconfiguration) makes the
+	// sender retransmit a packet the sink already took — so the ratio
+	// can exceed 1 under loss.
 	DeliveryRatio float64
 	// MeanDelay, MaxDelay and P95Delay summarize end-to-end delays in
 	// seconds across all delivered packets.
@@ -123,6 +129,12 @@ func prepareSim(p Protocol, s Scenario, params []float64, o SimOptions) (sim.Con
 // outer is the ring whose packets define the reference delay, window the
 // energy-accounting window in seconds.
 func simReportOf(p Protocol, params []float64, seed int64, outer int, window float64, net *topology.Network, res *sim.Result) SimReport {
+	// An idle run delivers nothing of nothing; the report defines that
+	// as ratio 0 so the field stays finite whatever the workload.
+	ratio := 0.0
+	if res.Metrics.Generated() > 0 {
+		ratio = res.Metrics.DeliveryRatio()
+	}
 	return SimReport{
 		Protocol:      p,
 		Params:        append([]float64(nil), params...),
@@ -133,7 +145,7 @@ func simReportOf(p Protocol, params []float64, seed int64, outer int, window flo
 		Delivered:     res.Metrics.Delivered(),
 		Dropped:       res.Metrics.Dropped(),
 		Collisions:    res.Collisions,
-		DeliveryRatio: res.Metrics.DeliveryRatio(),
+		DeliveryRatio: ratio,
 		MeanDelay:     res.Metrics.MeanDelay(),
 		MaxDelay:      res.Metrics.MaxDelay(),
 		P95Delay:      res.Metrics.QuantileDelay(0.95),

@@ -5,12 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 
+	"github.com/edmac-project/edmac/internal/adapt"
+	"github.com/edmac-project/edmac/internal/core"
 	"github.com/edmac-project/edmac/internal/opt"
 	"github.com/edmac-project/edmac/internal/par"
 	"github.com/edmac-project/edmac/internal/scenario"
 	"github.com/edmac-project/edmac/internal/sim"
+	"github.com/edmac-project/edmac/internal/topology"
+	"github.com/edmac-project/edmac/internal/traffic"
 )
 
 // SuiteOptions configure a RunSuite matrix run.
@@ -31,6 +36,11 @@ type SuiteOptions struct {
 	// scales with each scenario's depth (3 + 1.2·D), since a bound fit
 	// for a 3-hop ring is unreachable for a 24-hop tunnel.
 	MaxDelay float64
+	// Adaptive forces per-phase re-bargaining on every phased
+	// (version-2) scenario, whatever its adaptation block says. Phased
+	// scenarios whose spec declares mode "per-phase" adapt even when
+	// this is false; stationary scenarios are never affected.
+	Adaptive bool
 }
 
 func (o SuiteOptions) withDefaults() SuiteOptions {
@@ -85,10 +95,34 @@ type SuiteSim struct {
 	BottleneckEnergy float64  `json:"bottleneck_energy"`
 }
 
+// SuitePhase is one epoch of an adaptive cell: the phase's span, the
+// load the bargain was re-played from, and the effective parameter
+// vector the runtime deployed at the phase boundary.
+type SuitePhase struct {
+	Name     string  `json:"name,omitempty"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+	MeanRate float64 `json:"mean_rate"`
+	// Params is the effective vector deployed for the epoch (LMAC slot
+	// raising applied, as for the cell-level Params).
+	Params      []float64      `json:"params,omitempty"`
+	SlotsRaised bool           `json:"slots_raised,omitempty"`
+	Analytic    *SuiteAnalytic `json:"analytic,omitempty"`
+	Err         string         `json:"error,omitempty"`
+}
+
 // SuiteCell is one (scenario, protocol) entry of a suite report: the
 // requirements played, the bargained parameters, and the analytic and
 // measured outcomes. Err records cells that could not be played (e.g. a
 // delay bound no configuration meets) without aborting the suite.
+//
+// Params is always the effective vector the simulator ran — if LMAC
+// slot raising applied, the raised vector, flagged by SlotsRaised.
+//
+// Adaptive cells carry the static-vs-adaptive comparison whole: Params,
+// Analytic and StaticSim describe the one-shot bargain frozen for the
+// full run, while Phases and Sim describe the re-bargaining runtime
+// that re-plays the game at every phase boundary.
 type SuiteCell struct {
 	Scenario     string    `json:"scenario"`
 	Protocol     Protocol  `json:"protocol"`
@@ -100,8 +134,14 @@ type SuiteCell struct {
 	// approximation can under-provision slots for irregular topologies.
 	SlotsRaised bool           `json:"slots_raised,omitempty"`
 	Analytic    *SuiteAnalytic `json:"analytic,omitempty"`
-	Sim         *SuiteSim      `json:"sim,omitempty"`
-	Err         string         `json:"error,omitempty"`
+	// Adaptive marks cells played by the online re-bargaining runtime;
+	// Phases holds its per-epoch bargains and Sim its measured outcome,
+	// with StaticSim the frozen-bargain baseline alongside.
+	Adaptive  bool         `json:"adaptive,omitempty"`
+	Phases    []SuitePhase `json:"phases,omitempty"`
+	Sim       *SuiteSim    `json:"sim,omitempty"`
+	StaticSim *SuiteSim    `json:"static_sim,omitempty"`
+	Err       string       `json:"error,omitempty"`
 }
 
 // SuiteReport is the machine-readable outcome of a scenario×protocol
@@ -137,6 +177,12 @@ func (r *SuiteReport) JSON() ([]byte, error) {
 // matrix fans out over the pool with the same determinism contract as
 // every parallel layer in this module: results are bit-identical to the
 // sequential run and ordered scenario-major.
+//
+// Phased (version-2) scenarios additionally play the adaptive runtime
+// when their spec says so or SuiteOptions.Adaptive forces it: the
+// bargain is re-played per traffic phase and deployed at the phase
+// boundaries by sim.RunPhased, with the frozen static bargain simulated
+// alongside as the baseline (see SuiteCell).
 //
 // Cancelling ctx abandons the suite and returns ctx.Err(). Per-cell
 // failures (an unmeetable delay bound, an unschedulable LMAC frame) are
@@ -175,7 +221,19 @@ func RunSuite(ctx context.Context, specs []ScenarioSpec, protocols []Protocol, o
 		if err != nil {
 			return nil, err
 		}
-		mats[i] = matScenario{spec: sp.spec, mat: m, analytic: analyticScenarioOf(m)}
+		an := analyticScenarioOf(m)
+		// Phased.MeanRates blends over the *declared* phase totals; the
+		// suite knows its actual run length, so the static bargain is
+		// solved for the workload mix the run really plays — the last
+		// phase stretched or trailing phases clipped by o.Duration.
+		// At the default duration (= the declared total for builtins)
+		// the two blends coincide.
+		if ph, ok := m.Traffic.(traffic.Phased); ok {
+			if r := realizedMeanRate(ph, m.Network, o.Duration); r > 0 {
+				an.SampleInterval = 1 / r
+			}
+		}
+		mats[i] = matScenario{spec: sp.spec, mat: m, analytic: an}
 		if needSlots {
 			mats[i].minSlots = m.Network.MinSlots()
 		}
@@ -194,7 +252,7 @@ func RunSuite(ctx context.Context, specs []ScenarioSpec, protocols []Protocol, o
 			Name:        ms.spec.Name,
 			Description: ms.spec.Description,
 			Topology:    ms.spec.Topology.Kind,
-			Traffic:     ms.spec.Traffic.Kind,
+			Traffic:     ms.spec.TrafficKind(),
 			Nodes:       ms.mat.Network.N(),
 			Depth:       ms.mat.Network.Depth(),
 			MeanDegree:  ms.mat.Network.MeanDegree(),
@@ -228,7 +286,8 @@ func runSuiteCell(spec scenario.Spec, mat *scenario.Materialized, analytic Scena
 		EnergyBudget: o.EnergyBudget,
 		MaxDelay:     maxDelay,
 	}
-	res, err := OptimizeRelaxed(p, analytic, Requirements{EnergyBudget: o.EnergyBudget, MaxDelay: maxDelay})
+	req := Requirements{EnergyBudget: o.EnergyBudget, MaxDelay: maxDelay}
+	res, err := OptimizeRelaxed(p, analytic, req)
 	if err != nil {
 		cell.Err = err.Error()
 		return cell
@@ -240,15 +299,22 @@ func runSuiteCell(spec scenario.Spec, mat *scenario.Materialized, analytic Scena
 		Degenerate:     res.Degenerate,
 		BudgetExceeded: res.BudgetExceeded,
 	}
+	adaptive := len(spec.Phases) > 0 &&
+		(o.Adaptive || (spec.Adaptation != nil && spec.Adaptation.Mode == scenario.AdaptPerPhase))
+	if adaptive {
+		cell.Adaptive = true
+		cell.Phases = suitePhases(spec, mat, p, req, o.Duration, minSlots)
+	}
 	if p == SCPMAC {
-		// Analytic-only protocol: the cell ends at the bargain.
+		// Analytic-only protocol: the cell ends at the bargain (and,
+		// when adaptive, the per-phase bargains).
 		return cell
 	}
-	params := append([]float64(nil), cell.Params...)
-	if p == LMAC && int(math.Round(params[0])) < minSlots {
-		params[0] = float64(minSlots)
-		cell.SlotsRaised = true
-	}
+	// Report the effective vector: what the simulator actually runs,
+	// with LMAC slot raising applied — not the raw bargain.
+	params, raised := effectiveParams(p, res.Bargain.Params, minSlots)
+	cell.Params = params
+	cell.SlotsRaised = raised
 	cfg := sim.Config{
 		Protocol: string(p),
 		Network:  mat.Network,
@@ -264,8 +330,102 @@ func runSuiteCell(spec scenario.Spec, mat *scenario.Materialized, analytic Scena
 		cell.Err = err.Error()
 		return cell
 	}
-	rep := simReportOf(p, params, cfg.Seed, mat.Network.Depth(), spec.Window, mat.Network, simRes)
-	cell.Sim = &SuiteSim{
+	static := suiteSimOf(simReportOf(p, params, cfg.Seed, mat.Network.Depth(), spec.Window, mat.Network, simRes))
+	if !adaptive {
+		cell.Sim = static
+		return cell
+	}
+	// Adaptive runtime: deploy each phase's re-bargained vector at its
+	// boundary, on the same network, traffic and seed the static
+	// baseline ran, so the two sims differ in parameters only.
+	cell.StaticSim = static
+	phases := make([]sim.PhaseConfig, len(cell.Phases))
+	for i, ph := range cell.Phases {
+		if ph.Err != "" {
+			cell.Err = fmt.Sprintf("adaptive phase %d: %s", i, ph.Err)
+			return cell
+		}
+		phases[i] = sim.PhaseConfig{Params: opt.Vector(ph.Params), Until: ph.End}
+	}
+	adaptRes, err := sim.RunPhased(cfg, phases)
+	if err != nil {
+		cell.Err = err.Error()
+		return cell
+	}
+	cell.Sim = suiteSimOf(simReportOf(p, params, cfg.Seed, mat.Network.Depth(), spec.Window, mat.Network, adaptRes))
+	return cell
+}
+
+// suitePhases re-plays the bargain per phase via the adaptation
+// controller and converts the plan into report rows with effective
+// (slot-raised) parameter vectors.
+func suitePhases(spec scenario.Spec, mat *scenario.Materialized, p Protocol,
+	req Requirements, duration float64, minSlots int) []SuitePhase {
+	plan, err := adapt.PlanPhases(mat, string(p),
+		core.Requirements{EnergyBudget: req.EnergyBudget, MaxDelay: req.MaxDelay}, duration)
+	if err != nil {
+		// A planning failure (not a per-phase one) voids every phase.
+		return []SuitePhase{{Err: err.Error()}}
+	}
+	out := make([]SuitePhase, len(plan.Phases))
+	for i, pp := range plan.Phases {
+		row := SuitePhase{
+			Name:     spec.Phases[pp.Index].Name,
+			Start:    pp.Start,
+			End:      pp.End,
+			MeanRate: pp.MeanRate,
+		}
+		if pp.Err != nil {
+			row.Err = pp.Err.Error()
+			out[i] = row
+			continue
+		}
+		row.Params, row.SlotsRaised = effectiveParams(p, pp.Tradeoff.Bargain.Params, minSlots)
+		row.Analytic = &SuiteAnalytic{
+			Energy:         pp.Tradeoff.Bargain.Energy,
+			Delay:          pp.Tradeoff.Bargain.Delay,
+			Degenerate:     pp.Tradeoff.Degenerate,
+			BudgetExceeded: pp.Tradeoff.BudgetExceeded,
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// realizedMeanRate returns the duration-weighted mean per-node rate of
+// the phase windows a run of the given length actually realizes.
+func realizedMeanRate(ph traffic.Phased, net *topology.Network, duration float64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	total := 0.0
+	for k, win := range ph.Windows(duration) {
+		d := win.Duration()
+		if d <= 0 {
+			continue
+		}
+		total += d * traffic.MeanNonSinkRate(ph.Phases[k].Model.MeanRates(net))
+	}
+	return total / duration
+}
+
+// effectiveParams returns the vector the simulator actually runs: a
+// copy of the bargained parameters with LMAC's slot count raised to the
+// explicit network's minimum conflict-free schedule when the ring
+// approximation under-provisioned it. The second result reports whether
+// raising applied.
+func effectiveParams(p Protocol, bargain []float64, minSlots int) ([]float64, bool) {
+	params := append([]float64(nil), bargain...)
+	if p == LMAC && len(params) > 0 && int(math.Round(params[0])) < minSlots {
+		params[0] = float64(minSlots)
+		return params, true
+	}
+	return params, false
+}
+
+// suiteSimOf boxes a SimReport into the suite's measured-side row.
+func suiteSimOf(rep SimReport) *SuiteSim {
+	return &SuiteSim{
 		Seed:             rep.Seed,
 		Nodes:            rep.Nodes,
 		Generated:        rep.Generated,
@@ -278,18 +438,36 @@ func runSuiteCell(spec scenario.Spec, mat *scenario.Materialized, analytic Scena
 		OuterRingDelay:   finiteOrNil(rep.OuterRingDelay),
 		BottleneckEnergy: rep.BottleneckEnergy,
 	}
-	return cell
 }
 
 // suiteCellSeed derives a cell's simulation seed from the base seed and
 // the cell's identity, so cells are mutually decorrelated yet stable
-// under registry reordering.
+// under registry reordering. The identity is hashed in an unambiguous
+// encoding: both components are escaped ('\' → '\\', '/' → '\/') before
+// the '/' join, so distinct (scenario, protocol) pairs can never
+// collide even when scenario names contain '/'. Names free of both
+// bytes hash exactly as the historical unescaped form, which keeps
+// committed goldens stable.
 func suiteCellSeed(base int64, scenarioName string, p Protocol) int64 {
 	h := fnv.New64a()
-	h.Write([]byte(scenarioName))
+	writeEscaped(h, scenarioName)
 	h.Write([]byte{'/'})
-	h.Write([]byte(p))
+	writeEscaped(h, string(p))
 	return base ^ int64(h.Sum64())
+}
+
+// writeEscaped writes s with '\' and '/' backslash-escaped, making the
+// separator-joined concatenation uniquely decodable.
+func writeEscaped(w io.Writer, s string) {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\\' || c == '/' {
+			w.Write([]byte(s[start:i]))
+			w.Write([]byte{'\\', c})
+			start = i + 1
+		}
+	}
+	w.Write([]byte(s[start:]))
 }
 
 // finiteOrNil boxes a float for JSON, dropping NaN/Inf values (which

@@ -1,0 +1,139 @@
+package edmac
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestSuiteCellSeedPinned freezes the seed derivation: committed suite
+// goldens embed these values, so any change to the encoding shows up
+// here before it silently rewrites every golden cell.
+func TestSuiteCellSeedPinned(t *testing.T) {
+	for _, tc := range []struct {
+		scenario string
+		protocol Protocol
+		want     int64
+	}{
+		{"ring-baseline", XMAC, -4613168393296268275},
+		{"meadow-stormcycle", LMAC, 650889711679141048},
+	} {
+		if got := suiteCellSeed(0, tc.scenario, tc.protocol); got != tc.want {
+			t.Errorf("suiteCellSeed(0, %q, %q) = %d, want %d", tc.scenario, tc.protocol, got, tc.want)
+		}
+		// The base seed XORs in, so distinct bases decorrelate.
+		if got := suiteCellSeed(12345, tc.scenario, tc.protocol); got == tc.want {
+			t.Errorf("base seed had no effect on %q/%q", tc.scenario, tc.protocol)
+		}
+	}
+}
+
+// TestSuiteCellSeedCompatible asserts the escaped encoding matches the
+// historical unescaped name+"/"+protocol hash whenever the name is free
+// of '/' and '\' — the property that kept existing goldens stable when
+// the encoding became unambiguous.
+func TestSuiteCellSeedCompatible(t *testing.T) {
+	for _, name := range []string{"ring-baseline", "grid-eventwatch", "a-b_c.9"} {
+		for _, p := range Protocols() {
+			h := fnv.New64a()
+			h.Write([]byte(name))
+			h.Write([]byte{'/'})
+			h.Write([]byte(p))
+			want := int64(7) ^ int64(h.Sum64())
+			if got := suiteCellSeed(7, name, p); got != want {
+				t.Errorf("suiteCellSeed(7, %q, %q) = %d diverged from the historical form %d",
+					name, p, got, want)
+			}
+		}
+	}
+}
+
+// TestSuiteCellSeedUnambiguous asserts distinct (scenario, protocol)
+// identities can no longer collide: the raw concatenation made
+// ("a/b", "c") and ("a", "b/c") hash alike.
+func TestSuiteCellSeedUnambiguous(t *testing.T) {
+	pairs := [][2]struct {
+		name string
+		p    Protocol
+	}{
+		{{"a/b", "c"}, {"a", "b/c"}},
+		{{"x/", "y"}, {"x", "/y"}},
+		{{`a\`, "/b"}, {`a\/`, "b"}},
+		{{`a\/b`, "c"}, {`a\`, "b/c"}},
+	}
+	for _, pair := range pairs {
+		a := suiteCellSeed(0, pair[0].name, pair[0].p)
+		b := suiteCellSeed(0, pair[1].name, pair[1].p)
+		if a == b {
+			t.Errorf("identities (%q,%q) and (%q,%q) collide on %d",
+				pair[0].name, pair[0].p, pair[1].name, pair[1].p, a)
+		}
+	}
+}
+
+// TestEffectiveParams pins the raising rule runSuiteCell reports from.
+func TestEffectiveParams(t *testing.T) {
+	bargain := []float64{9, 0.08}
+	raisedParams, raised := effectiveParams(LMAC, bargain, 13)
+	if !raised || raisedParams[0] != 13 || raisedParams[1] != 0.08 {
+		t.Errorf("effectiveParams(lmac, %v, 13) = %v, %v", bargain, raisedParams, raised)
+	}
+	if bargain[0] != 9 {
+		t.Error("effectiveParams mutated the bargain vector")
+	}
+	kept, raised := effectiveParams(LMAC, bargain, 9)
+	if raised || kept[0] != 9 {
+		t.Errorf("minSlots at the bargain raised anyway: %v, %v", kept, raised)
+	}
+	other, raised := effectiveParams(XMAC, []float64{0.2}, 13)
+	if raised || other[0] != 0.2 {
+		t.Errorf("non-LMAC protocol raised: %v, %v", other, raised)
+	}
+}
+
+// TestRunSuiteCellReportsEffectiveParams is the regression test for the
+// suite-report bug: when LMAC slots are raised to the network's minimum
+// conflict-free schedule, the reported Params must be the vector the
+// simulator ran, not the unraised bargain.
+func TestRunSuiteCellReportsEffectiveParams(t *testing.T) {
+	sp, ok := BuiltinScenario("ring-baseline")
+	if !ok {
+		t.Fatal("ring-baseline missing")
+	}
+	mat, err := sp.spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := SuiteOptions{Duration: 40, Seed: 1}.withDefaults()
+	analytic := analyticScenarioOf(mat)
+
+	// Baseline: the natural minimum never raises this scenario.
+	plain := runSuiteCell(sp.spec, mat, analytic, mat.Network.MinSlots(), LMAC, o)
+	if plain.Err != "" {
+		t.Fatalf("baseline cell failed: %s", plain.Err)
+	}
+	if plain.SlotsRaised {
+		t.Fatal("baseline cell unexpectedly raised; pick a higher forced minimum below")
+	}
+	bargained := plain.Params[0]
+
+	// Force a minimum above the bargain, as an irregular topology would.
+	minSlots := int(bargained) + 4
+	cell := runSuiteCell(sp.spec, mat, analytic, minSlots, LMAC, o)
+	if cell.Err != "" {
+		t.Fatalf("raised cell failed: %s", cell.Err)
+	}
+	if !cell.SlotsRaised {
+		t.Fatalf("forced minimum %d did not raise the bargained %v slots", minSlots, bargained)
+	}
+	if cell.Params[0] != float64(minSlots) {
+		t.Errorf("reported %v slots; the simulator ran %d — the report must carry the effective vector",
+			cell.Params[0], minSlots)
+	}
+	if cell.Analytic == nil || cell.Sim == nil {
+		t.Fatal("raised cell missing analytic or sim side")
+	}
+	// The raised run really differs from the unraised one.
+	if cell.Sim.BottleneckEnergy == plain.Sim.BottleneckEnergy && cell.Sim.Delivered == plain.Sim.Delivered {
+		t.Error("raised cell simulated identically to the unraised one")
+	}
+}
