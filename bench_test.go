@@ -410,3 +410,21 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 		}
 	}
 }
+
+// The same simulator over a lossy, capture-enabled medium (the
+// ring-lossy builtin: bernoulli links at PRR 0.85). Gated alongside the
+// perfect-channel benchmark above, so the per-receiver delivery draws
+// can never sneak allocations or a slowdown into the hot path — the
+// perfect path must stay draw-free and byte-identical.
+func BenchmarkSimulatorEventRateLossy(b *testing.B) {
+	sp, ok := edmac.BuiltinScenario("ring-lossy")
+	if !ok {
+		b.Fatal("missing builtin ring-lossy")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := edmac.SimulateScenario(edmac.XMAC, sp, []float64{0.5},
+			edmac.SimOptions{Duration: 300, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -84,6 +84,11 @@ type Scenario struct {
 	Payload int
 	// Radio names the transceiver profile: "cc2420" or "cc1101".
 	Radio string
+	// LinkPRR is the per-link packet reception ratio the analytic models
+	// assume on every hop. The zero value means 1 (perfect links); below
+	// 1 the models charge each hop the expected retransmission attempts,
+	// so the bargain reacts to link quality.
+	LinkPRR float64
 }
 
 // DefaultScenario returns the calibrated scenario of the paper
@@ -116,6 +121,7 @@ func (s Scenario) env() (macmodel.Env, error) {
 		SampleRate: 1 / s.SampleInterval,
 		Window:     s.Window,
 		Payload:    s.Payload,
+		LinkPRR:    s.LinkPRR,
 	}
 	if err := env.Validate(); err != nil {
 		return macmodel.Env{}, err

@@ -122,5 +122,10 @@ func buildModel(protocol string, m *scenario.Materialized, rate float64) (macmod
 		Window:     m.Spec.Window,
 		Payload:    m.Spec.Payload,
 	}
+	// Per-phase games feel link quality exactly like the static bridge:
+	// the network's mean link PRR (1, i.e. unset, on perfect channels).
+	if prr := m.Network.MeanLinkPRR(); prr < 1 {
+		env.LinkPRR = prr
+	}
 	return macmodel.New(protocol, env)
 }

@@ -25,8 +25,9 @@ const (
 //
 // Parameter vector: X = (Tw), the wakeup (channel-check) interval.
 type BMAC struct {
-	env   Env
-	flows traffic.RingFlows
+	env      Env
+	flows    traffic.RingFlows
+	attempts float64 // expected tx attempts per hop (1 on perfect links)
 
 	tData float64
 	tPoll float64
@@ -40,10 +41,11 @@ func NewBMAC(env Env) (*BMAC, error) {
 		return nil, err
 	}
 	m := &BMAC{
-		env:   env,
-		flows: env.Flows(),
-		tData: env.DataAirtime(),
-		tPoll: env.Radio.Startup + 2*env.Radio.CCA,
+		env:      env,
+		flows:    env.Flows(),
+		attempts: env.Attempts(),
+		tData:    env.DataAirtime(),
+		tPoll:    env.Radio.Startup + 2*env.Radio.CCA,
 	}
 	if err := validateSpecs(m.Name(), m.Params()); err != nil {
 		return nil, err
@@ -71,7 +73,7 @@ func (m *BMAC) Structural() []opt.Constraint {
 		Name: "bmac-unsaturated",
 		F: func(x opt.Vector) float64 {
 			tw := x[0]
-			return m.flows.Out(1)*(tw+m.tData) - 0.5
+			return m.attempts*m.flows.Out(1)*(tw+m.tData) - 0.5
 		},
 	}}
 }
@@ -81,9 +83,10 @@ func (m *BMAC) EnergyAt(x opt.Vector, ring int) Components {
 	tw := x[0]
 	r := m.env.Radio
 	w := m.env.Window
-	fout := m.flows.Out(ring)
-	fin := m.flows.In(ring)
-	fb := m.flows.Background(ring)
+	// Lossy links repeat the whole preamble+data exchange per attempt.
+	fout := m.attempts * m.flows.Out(ring)
+	fin := m.attempts * m.flows.In(ring)
+	fb := m.attempts * m.flows.Background(ring)
 
 	csTime := w / tw * m.tPoll
 	cs := csTime * r.PowerListen
@@ -119,10 +122,11 @@ func (m *BMAC) Energy(x opt.Vector) float64 {
 	return m.EnergyAt(x, m.flows.Bottleneck()).Total()
 }
 
-// Delay implements Model: every hop pays the full preamble plus data.
+// Delay implements Model: every hop pays the full preamble plus data,
+// once per expected attempt on lossy links.
 func (m *BMAC) Delay(x opt.Vector) float64 {
 	tw := x[0]
-	return float64(m.env.Rings.Depth) * (tw + m.tData)
+	return float64(m.env.Rings.Depth) * (tw + m.tData) * m.attempts
 }
 
 // String returns a short human-readable description.

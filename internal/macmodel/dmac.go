@@ -32,8 +32,9 @@ const (
 //
 // Parameter vector: X = (T, mu) — frame length and slot length.
 type DMAC struct {
-	env   Env
-	flows traffic.RingFlows
+	env      Env
+	flows    traffic.RingFlows
+	attempts float64 // expected tx attempts per hop (1 on perfect links)
 
 	tData float64
 	tAck  float64
@@ -52,13 +53,14 @@ func NewDMAC(env Env) (*DMAC, error) {
 	}
 	r := env.Radio
 	m := &DMAC{
-		env:   env,
-		flows: env.Flows(),
-		tData: env.DataAirtime(),
-		tAck:  env.AckAirtime(),
-		tSync: env.SyncAirtime(),
-		tHdr:  env.HeaderAirtime(),
-		tCW:   dmacCWSlots * r.CCA,
+		env:      env,
+		flows:    env.Flows(),
+		attempts: env.Attempts(),
+		tData:    env.DataAirtime(),
+		tAck:     env.AckAirtime(),
+		tSync:    env.SyncAirtime(),
+		tHdr:     env.HeaderAirtime(),
+		tCW:      dmacCWSlots * r.CCA,
 	}
 	m.muMin = r.Startup + m.tCW + m.tData + r.Turnaround + m.tAck
 	if m.muMin >= dmacSlotMax {
@@ -102,7 +104,7 @@ func (m *DMAC) Structural() []opt.Constraint {
 		{
 			Name: "dmac-capacity",
 			F: func(x opt.Vector) float64 {
-				return m.flows.Out(1)*x[0] - dmacCapacity
+				return m.attempts*m.flows.Out(1)*x[0] - dmacCapacity
 			},
 		},
 	}
@@ -113,9 +115,11 @@ func (m *DMAC) EnergyAt(x opt.Vector, ring int) Components {
 	frame, mu := x[0], x[1]
 	r := m.env.Radio
 	w := m.env.Window
-	fout := m.flows.Out(ring)
-	fin := m.flows.In(ring)
-	fb := m.flows.Background(ring)
+	// A failed slot exchange repeats in a later frame: lossy links
+	// multiply every flow-driven term by the expected attempts.
+	fout := m.attempts * m.flows.Out(ring)
+	fin := m.attempts * m.flows.In(ring)
+	fb := m.attempts * m.flows.Background(ring)
 
 	// Baseline: one receive slot per frame, listened end to end.
 	csTime := w / frame * (r.Startup + mu)
@@ -171,10 +175,11 @@ func (m *DMAC) Energy(x opt.Vector) float64 {
 
 // Delay implements Model: a packet waits half a frame on average for its
 // level's next transmission slot, then rides the staggered wave one slot
-// per hop.
+// per hop. On lossy links each failed hop exchange defers the packet to
+// a later frame, so every expected extra attempt costs a full frame.
 func (m *DMAC) Delay(x opt.Vector) float64 {
 	frame, mu := x[0], x[1]
-	return frame/2 + float64(m.env.Rings.Depth)*mu
+	return frame/2 + float64(m.env.Rings.Depth)*(mu+(m.attempts-1)*frame)
 }
 
 // String returns a short human-readable description.

@@ -59,6 +59,48 @@ type Env struct {
 	Window float64
 	// Payload is the application payload size in bytes.
 	Payload int
+	// LinkPRR is the per-link packet reception ratio the models assume
+	// on every hop. The zero value means 1 (perfect links, the historic
+	// behaviour), so existing Env literals are unaffected. Below 1, each
+	// frame of a hop's handshake succeeds independently with this
+	// probability, and the models inflate their per-packet energy and
+	// per-hop delay terms by the expected attempts — see Attempts.
+	LinkPRR float64
+}
+
+// RetryCap bounds the expected attempts the models charge per hop. It
+// mirrors the packet-level MACs, which abandon a packet after a handful
+// of retries (5 for X-MAC/B-MAC, 8 for DMAC) instead of retrying
+// forever: 6 attempts is the contention protocols' worst case.
+const RetryCap = 6.0
+
+// linkPRR resolves the zero-value convention: unset means perfect.
+func (e Env) linkPRR() float64 {
+	if e.LinkPRR == 0 {
+		return 1
+	}
+	return e.LinkPRR
+}
+
+// Attempts returns the expected transmission attempts per hop under the
+// environment's link quality: a hop completes when both the data frame
+// and its acknowledgement get through, each with probability LinkPRR,
+// so the expectation is min(1/LinkPRR², RetryCap). Exactly 1 on perfect
+// links, nondecreasing as the PRR falls — the lever through which the
+// Nash bargain feels retransmission cost. (LMAC has no link-layer ACK;
+// charging it the same expectation models the slot capacity its
+// schedule must reserve to recover schedule-level losses, and keeps the
+// protocols comparable under one link-quality axis.)
+func (e Env) Attempts() float64 {
+	p := e.linkPRR()
+	if p >= 1 {
+		return 1
+	}
+	a := 1 / (p * p)
+	if a > RetryCap {
+		return RetryCap
+	}
+	return a
 }
 
 // Default returns the calibrated scenario used throughout the paper
@@ -93,6 +135,9 @@ func (e Env) Validate() error {
 	}
 	if e.Payload <= 0 {
 		return fmt.Errorf("macmodel: payload %d must be positive", e.Payload)
+	}
+	if e.LinkPRR < 0 || e.LinkPRR > 1 {
+		return fmt.Errorf("macmodel: link PRR %v must be in [0, 1] (0 means unset/perfect)", e.LinkPRR)
 	}
 	return nil
 }

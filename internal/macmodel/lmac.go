@@ -31,8 +31,9 @@ const (
 // Parameter vector: X = (N, tslot) — slots per frame and slot length.
 // N is continuous in the model and rounded by the simulator.
 type LMAC struct {
-	env   Env
-	flows traffic.RingFlows
+	env      Env
+	flows    traffic.RingFlows
+	attempts float64 // expected tx attempts per hop (1 on perfect links)
 
 	tData    float64
 	tCtrl    float64
@@ -49,10 +50,11 @@ func NewLMAC(env Env) (*LMAC, error) {
 	}
 	r := env.Radio
 	m := &LMAC{
-		env:   env,
-		flows: env.Flows(),
-		tData: env.DataAirtime(),
-		tCtrl: env.CtrlAirtime(),
+		env:      env,
+		flows:    env.Flows(),
+		attempts: env.Attempts(),
+		tData:    env.DataAirtime(),
+		tCtrl:    env.CtrlAirtime(),
 	}
 	m.slotMin = m.tCtrl + r.CCA + m.tData + r.Turnaround
 	m.slotsMin = float64(2*env.Rings.Density + 3)
@@ -90,7 +92,7 @@ func (m *LMAC) Structural() []opt.Constraint {
 		Name: "lmac-capacity",
 		F: func(x opt.Vector) float64 {
 			frame := x[0] * x[1]
-			return m.flows.Out(1)*frame - lmacCapacity
+			return m.attempts*m.flows.Out(1)*frame - lmacCapacity
 		},
 	}}
 }
@@ -101,8 +103,11 @@ func (m *LMAC) EnergyAt(x opt.Vector, ring int) Components {
 	frame := slots * tslot
 	r := m.env.Radio
 	w := m.env.Window
-	fout := m.flows.Out(ring)
-	fin := m.flows.In(ring)
+	// Lossy links repeat a hop's data section in a later owned slot:
+	// the data flows inflate by the expected attempts (the control
+	// tracking baseline is schedule-driven and does not).
+	fout := m.attempts * m.flows.Out(ring)
+	fin := m.attempts * m.flows.In(ring)
 
 	// Control tracking: listen to the control section (plus a CCA to
 	// catch the section start) of every slot it does not own.
@@ -139,10 +144,12 @@ func (m *LMAC) Energy(x opt.Vector) float64 {
 }
 
 // Delay implements Model: at every hop a packet waits half a frame on
-// average for the forwarder's owned slot, then occupies one data section.
+// average for the forwarder's owned slot, then occupies one data
+// section. On lossy links every expected extra attempt defers the hop
+// by one full frame (the next owned slot).
 func (m *LMAC) Delay(x opt.Vector) float64 {
 	frame := x[0] * x[1]
-	return float64(m.env.Rings.Depth) * (frame/2 + m.tData)
+	return float64(m.env.Rings.Depth) * (frame/2 + m.tData + (m.attempts-1)*frame)
 }
 
 // String returns a short human-readable description.

@@ -1,0 +1,106 @@
+package macmodel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edmac-project/edmac/internal/opt"
+)
+
+func TestAttempts(t *testing.T) {
+	cases := []struct {
+		prr  float64
+		want float64
+	}{
+		{0, RetryCap},    // unset: perfect
+		{1, 1},           // exact at PRR 1
+		{0.5, 4},         // 1/(0.5*0.5)
+		{0.9, 1 / 0.81},  // 1/(0.9*0.9)
+		{0.1, RetryCap},  // capped
+		{0.01, RetryCap}, // capped
+	}
+	for i, tc := range cases {
+		env := Default()
+		env.LinkPRR = tc.prr
+		got := env.Attempts()
+		want := tc.want
+		if tc.prr == 0 {
+			want = 1 // zero value means unset/perfect
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("case %d: Attempts(prr=%v) = %v, want %v", i, tc.prr, got, want)
+		}
+	}
+	bad := Default()
+	bad.LinkPRR = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("LinkPRR 1.5 validated")
+	}
+	bad.LinkPRR = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("LinkPRR -0.1 validated")
+	}
+}
+
+// midpoint returns the center of a model's admissible box — a vector
+// every protocol can evaluate.
+func midpoint(m Model) opt.Vector {
+	b := m.Bounds()
+	x := make(opt.Vector, len(b.Lo))
+	for i := range x {
+		x[i] = (b.Lo[i] + b.Hi[i]) / 2
+	}
+	return x
+}
+
+// TestLossInflationMonotone asserts the retransmission inflation
+// contract for every protocol: at a fixed parameter vector, energy and
+// delay are nondecreasing as the link PRR falls, and a PRR of exactly 1
+// reproduces the perfect-links model bit for bit.
+func TestLossInflationMonotone(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			perfect, err := New(name, Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := midpoint(perfect)
+			baseE, baseD := perfect.Energy(x), perfect.Delay(x)
+
+			env := Default()
+			env.LinkPRR = 1
+			exact, err := New(name, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact.Energy(x) != baseE || exact.Delay(x) != baseD {
+				t.Errorf("PRR=1 diverges from the perfect model: E %v vs %v, L %v vs %v",
+					exact.Energy(x), baseE, exact.Delay(x), baseD)
+			}
+
+			lastE, lastD := baseE, baseD
+			for _, prr := range []float64{0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.3} {
+				env := Default()
+				env.LinkPRR = prr
+				m, err := New(name, env)
+				if err != nil {
+					t.Fatalf("prr %v: %v", prr, err)
+				}
+				e, d := m.Energy(x), m.Delay(x)
+				if e < lastE {
+					t.Errorf("energy not monotone: E(prr=%v) = %v < %v", prr, e, lastE)
+				}
+				if d < lastD {
+					t.Errorf("delay not monotone: L(prr=%v) = %v < %v", prr, d, lastD)
+				}
+				lastE, lastD = e, d
+			}
+			if lastE <= baseE {
+				t.Errorf("energy never moved: %v at PRR 0.3 vs %v perfect", lastE, baseE)
+			}
+			if lastD <= baseD {
+				t.Errorf("delay never moved: %v at PRR 0.3 vs %v perfect", lastD, baseD)
+			}
+		})
+	}
+}

@@ -34,8 +34,9 @@ const (
 //
 // Parameter vector: X = (Tp), the common poll period.
 type SCPMAC struct {
-	env   Env
-	flows traffic.RingFlows
+	env      Env
+	flows    traffic.RingFlows
+	attempts float64 // expected tx attempts per hop (1 on perfect links)
 
 	tData float64
 	tAck  float64
@@ -53,13 +54,14 @@ func NewSCPMAC(env Env) (*SCPMAC, error) {
 	}
 	r := env.Radio
 	m := &SCPMAC{
-		env:   env,
-		flows: env.Flows(),
-		tData: env.DataAirtime(),
-		tAck:  env.AckAirtime(),
-		tSync: env.SyncAirtime(),
-		tPoll: r.Startup + 2*r.CCA,
-		tCW:   8 * r.CCA,
+		env:      env,
+		flows:    env.Flows(),
+		attempts: env.Attempts(),
+		tData:    env.DataAirtime(),
+		tAck:     env.AckAirtime(),
+		tSync:    env.SyncAirtime(),
+		tPoll:    r.Startup + 2*r.CCA,
+		tCW:      8 * r.CCA,
 	}
 	if err := validateSpecs(m.Name(), m.Params()); err != nil {
 		return nil, err
@@ -98,7 +100,7 @@ func (m *SCPMAC) Structural() []opt.Constraint {
 	return []opt.Constraint{{
 		Name: "scpmac-capacity",
 		F: func(x opt.Vector) float64 {
-			return m.flows.Out(1)*x[0] - 0.9
+			return m.attempts*m.flows.Out(1)*x[0] - 0.9
 		},
 	}}
 }
@@ -108,9 +110,10 @@ func (m *SCPMAC) EnergyAt(x opt.Vector, ring int) Components {
 	tp := x[0]
 	r := m.env.Radio
 	w := m.env.Window
-	fout := m.flows.Out(ring)
-	fin := m.flows.In(ring)
-	fb := m.flows.Background(ring)
+	// Lossy links repeat the tone/data/ACK exchange per attempt.
+	fout := m.attempts * m.flows.Out(ring)
+	fin := m.attempts * m.flows.In(ring)
+	fb := m.attempts * m.flows.Background(ring)
 	tone := m.toneTime()
 
 	// Synchronized polls: a short CCA pair every poll period.
@@ -164,11 +167,12 @@ func (m *SCPMAC) Energy(x opt.Vector) float64 {
 }
 
 // Delay implements Model: a packet waits half a poll period for the next
-// synchronized poll, then completes the tone/data exchange, per hop.
+// synchronized poll, then completes the tone/data exchange, per hop —
+// the whole service repeating per expected attempt on lossy links.
 func (m *SCPMAC) Delay(x opt.Vector) float64 {
 	tp := x[0]
 	perHop := tp/2 + m.toneTime() + m.tData + m.env.Radio.Turnaround + m.tAck
-	return float64(m.env.Rings.Depth) * perHop
+	return float64(m.env.Rings.Depth) * perHop * m.attempts
 }
 
 // String returns a short human-readable description.

@@ -25,8 +25,9 @@ const (
 // ACKs, and receives the data frame. Strobed preambles make overhearing
 // cheap: third parties decode one strobe and go back to sleep.
 type XMAC struct {
-	env   Env
-	flows traffic.RingFlows
+	env      Env
+	flows    traffic.RingFlows
+	attempts float64 // expected tx attempts per hop (1 on perfect links)
 
 	tData   float64 // data frame airtime
 	tAck    float64 // ACK airtime
@@ -46,12 +47,13 @@ func NewXMAC(env Env) (*XMAC, error) {
 	}
 	r := env.Radio
 	m := &XMAC{
-		env:     env,
-		flows:   env.Flows(),
-		tData:   env.DataAirtime(),
-		tAck:    env.AckAirtime(),
-		tStrobe: env.StrobeAirtime(),
-		tGap:    env.AckAirtime() + 2*r.Turnaround,
+		env:      env,
+		flows:    env.Flows(),
+		attempts: env.Attempts(),
+		tData:    env.DataAirtime(),
+		tAck:     env.AckAirtime(),
+		tStrobe:  env.StrobeAirtime(),
+		tGap:     env.AckAirtime() + 2*r.Turnaround,
 	}
 	m.tPeriod = m.tStrobe + m.tGap
 	m.tPoll = r.Startup + 2*r.CCA
@@ -88,11 +90,12 @@ func (m *XMAC) Structural() []opt.Constraint {
 	}}
 }
 
-// utilization returns the busy fraction of the bottleneck node.
+// utilization returns the busy fraction of the bottleneck node,
+// including the retransmissions lossy links force.
 func (m *XMAC) utilization(x opt.Vector) float64 {
 	tw := x[0]
 	perPacket := tw/2 + m.tShake
-	return m.flows.Out(1)*perPacket + m.flows.In(1)*m.tShake
+	return m.attempts * (m.flows.Out(1)*perPacket + m.flows.In(1)*m.tShake)
 }
 
 // EnergyAt implements Model.
@@ -100,9 +103,11 @@ func (m *XMAC) EnergyAt(x opt.Vector, ring int) Components {
 	tw := x[0]
 	r := m.env.Radio
 	w := m.env.Window
-	fout := m.flows.Out(ring)
-	fin := m.flows.In(ring)
-	fb := m.flows.Background(ring)
+	// Every flow-driven term repeats per attempt: lossy links multiply
+	// the handshakes a node transmits, receives and overhears.
+	fout := m.attempts * m.flows.Out(ring)
+	fin := m.attempts * m.flows.In(ring)
+	fb := m.attempts * m.flows.Background(ring)
 
 	// Periodic channel polls: startup plus two CCAs per check.
 	csTime := w / tw * m.tPoll
@@ -144,10 +149,11 @@ func (m *XMAC) Energy(x opt.Vector) float64 {
 }
 
 // Delay implements Model: each hop waits Tw/2 on average for the
-// receiver's poll, then completes the strobe/ACK/data handshake.
+// receiver's poll, then completes the strobe/ACK/data handshake — and
+// repeats the whole service per expected attempt on lossy links.
 func (m *XMAC) Delay(x opt.Vector) float64 {
 	tw := x[0]
-	return float64(m.env.Rings.Depth) * (tw/2 + m.tShake)
+	return float64(m.env.Rings.Depth) * (tw/2 + m.tShake) * m.attempts
 }
 
 // String returns a short human-readable description.

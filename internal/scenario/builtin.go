@@ -9,11 +9,15 @@ package scenario
 // Builtins returns the built-in scenarios in registry order. The slice
 // is freshly allocated; callers may reorder or extend it.
 //
-// The stationary scenarios declare spec version 1 — they need nothing
-// newer, and their JSON stays byte-identical across the version-2
-// schema extension. The non-stationary scenarios at the end declare
-// version 2 and carry a per-phase adaptation default, so a default
-// suite run commits the adaptive-vs-static comparison to its golden.
+// Every scenario declares the oldest spec version that supports it —
+// stationary perfect-channel scenarios stay at version 1 and phased
+// ones at version 2, so their JSON is byte-identical across schema
+// extensions. The non-stationary scenarios carry a per-phase adaptation
+// default, committing the adaptive-vs-static comparison to the suite
+// golden; the trailing lossy scenarios declare version 3 and twin two
+// perfect-channel entries (ring-baseline, disk-meadow), so the golden
+// also commits how the bargain and the measured outcome move when the
+// same deployment's links degrade.
 func Builtins() []Spec {
 	return []Spec{
 		{
@@ -116,7 +120,7 @@ func Builtins() []Spec {
 			Window:      60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 2,
 			Name:        "meadow-stormcycle",
 			Description: "Non-stationary field monitoring: long calm sampling, a bursty storm surge, then calm again; re-bargained per phase.",
 			Seed:        7,
@@ -132,7 +136,7 @@ func Builtins() []Spec {
 			Window:     60,
 		},
 		{
-			SpecVersion: Version,
+			SpecVersion: 2,
 			Name:        "grid-nightwatch",
 			Description: "Lattice surveillance through a quiet shift, an event storm of correlated detections, and the quiet after; re-bargained per phase.",
 			Seed:        1,
@@ -146,6 +150,30 @@ func Builtins() []Spec {
 			Radio:      "cc2420",
 			Payload:    32,
 			Window:     60,
+		},
+		{
+			SpecVersion: 3,
+			Name:        "ring-lossy",
+			Description: "The ring baseline over lossy links: every link drops 15% of frames, dominant frames capture through overlap.",
+			Seed:        1,
+			Topology:    TopologySpec{Kind: "ring", Depth: 3, Density: 3},
+			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 120},
+			Channel:     &ChannelSpec{Model: "bernoulli", PRR: 0.85, Capture: true},
+			Radio:       "cc2420",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: 3,
+			Name:        "meadow-shadowed",
+			Description: "The sparse meadow under log-normal shadowing: edge links fade persistently, capture resolves most overlaps.",
+			Seed:        7,
+			Topology:    TopologySpec{Kind: "disk", Nodes: 36, Radius: 2.6},
+			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 150},
+			Channel:     &ChannelSpec{Model: "shadowing", PathLossExp: 3.2, SigmaDB: 4, EdgeMarginDB: 5, Capture: true},
+			Radio:       "cc1101",
+			Payload:     32,
+			Window:      60,
 		},
 	}
 }

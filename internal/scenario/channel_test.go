@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChannelSpec asserts the version-3 surface: a channel block
+// parses, materializes a lossy, capture-enabled network
+// deterministically, and the accessors report it.
+func TestChannelSpec(t *testing.T) {
+	data := []byte(`{
+  "version": 3,
+  "name": "lossy-line",
+  "seed": 4,
+  "topology": { "kind": "line", "nodes": 4, "spacing": 0.8 },
+  "traffic": { "kind": "periodic", "rate": 0.01 },
+  "channel": { "model": "bernoulli", "prr": 0.75, "capture": true, "capture_db": 4 },
+  "radio": "cc2420",
+  "payload": 32,
+  "window": 60
+}`)
+	spec, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.ChannelKind(); got != "bernoulli" {
+		t.Errorf("ChannelKind = %q, want bernoulli", got)
+	}
+	capture, db := spec.CaptureConfig()
+	if !capture || db != 4 {
+		t.Errorf("CaptureConfig = %v, %v; want true, 4", capture, db)
+	}
+	a, err := spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Network.Lossy() {
+		t.Fatal("materialized network not lossy")
+	}
+	if got := a.Network.MeanLinkPRR(); got != 0.75 {
+		t.Errorf("MeanLinkPRR = %v, want 0.75", got)
+	}
+	b, err := spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Network.MeanLinkPRR() != b.Network.MeanLinkPRR() {
+		t.Error("repeated materialization changed the link table")
+	}
+
+	// Scenarios without a channel block stay perfect.
+	plain, ok := ByName("ring-baseline")
+	if !ok {
+		t.Fatal("ring-baseline missing")
+	}
+	if got := plain.ChannelKind(); got != "perfect" {
+		t.Errorf("ring-baseline ChannelKind = %q, want perfect", got)
+	}
+	if capture, _ := plain.CaptureConfig(); capture {
+		t.Error("ring-baseline reports capture")
+	}
+	m, err := plain.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Network.Lossy() || m.Network.MeanLinkPRR() != 1 {
+		t.Error("perfect scenario materialized lossy links")
+	}
+}
+
+// TestChannelSpecRejects asserts the version gating and the strict
+// validation of the channel block.
+func TestChannelSpecRejects(t *testing.T) {
+	base := `{"version":%VER%,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},` +
+		`"traffic":{"kind":"periodic","rate":0.1},%CH%"radio":"cc2420","payload":32,"window":60}`
+	mk := func(ver, ch string) string {
+		s := strings.ReplaceAll(base, "%VER%", ver)
+		return strings.ReplaceAll(s, "%CH%", ch)
+	}
+	tests := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"channel in v1", mk("1", `"channel":{"model":"bernoulli","prr":0.9},`), "version 3"},
+		{"channel in v2", mk("2", `"channel":{"model":"bernoulli","prr":0.9},`), "version 3"},
+		{"unknown model", mk("3", `"channel":{"model":"telepathy"},`), "telepathy"},
+		{"unknown field", mk("3", `"channel":{"model":"bernoulli","prr":0.9,"typo":1},`), "typo"},
+		{"bad prr", mk("3", `"channel":{"model":"bernoulli","prr":1.5},`), "prr"},
+		{"missing prr", mk("3", `"channel":{"model":"bernoulli"},`), "prr"},
+		{"bad sigma", mk("3", `"channel":{"model":"shadowing","sigma_db":40},`), "sigma"},
+		{"bad capture margin", mk("3", `"channel":{"model":"bernoulli","prr":0.9,"capture_db":-1},`), "capture"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse([]byte(tt.json))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+	// A v3 spec without a channel block is fine (the version is a
+	// ceiling, not a demand)...
+	if _, err := Parse([]byte(mk("3", ""))); err != nil {
+		t.Errorf("v3 without channel rejected: %v", err)
+	}
+	// ...and a capture-only block over the perfect model is legal.
+	if _, err := Parse([]byte(mk("3", `"channel":{"capture":true},`))); err != nil {
+		t.Errorf("capture-only channel rejected: %v", err)
+	}
+}

@@ -14,17 +14,20 @@ import (
 	"math/rand"
 	"os"
 
+	"github.com/edmac-project/edmac/internal/channel"
 	"github.com/edmac-project/edmac/internal/radio"
 	"github.com/edmac-project/edmac/internal/topology"
 	"github.com/edmac-project/edmac/internal/traffic"
 )
 
 // Version is the newest spec schema version this package writes.
-// Version-2 specs add non-stationary workloads: a `phases` array of
-// consecutive traffic windows and an optional `adaptation` block
-// selecting how suites play them. Version-1 specs remain readable
-// unchanged.
-const Version = 2
+// Version-3 specs add link realism: an optional `channel` block selects
+// a lossy link-quality model (bernoulli or log-normal shadowing) and
+// the capture effect. Version-2 specs add non-stationary workloads: a
+// `phases` array of consecutive traffic windows and an optional
+// `adaptation` block selecting how suites play them. Version-1 and -2
+// specs remain readable unchanged.
+const Version = 3
 
 // minVersion is the oldest spec schema version still accepted.
 const minVersion = 1
@@ -55,6 +58,9 @@ type Spec struct {
 	// Adaptation (version 2) selects how a suite plays a phased
 	// scenario; nil means static.
 	Adaptation *AdaptationSpec `json:"adaptation,omitempty"`
+	// Channel (version 3) selects the link-quality model; nil keeps the
+	// perfect unit-disk channel.
+	Channel *ChannelSpec `json:"channel,omitempty"`
 	// Radio names the transceiver profile ("cc2420", "cc1101").
 	Radio string `json:"radio"`
 	// Payload is the application payload in bytes.
@@ -96,6 +102,39 @@ func (a *AdaptationSpec) valid() error {
 		return fmt.Errorf("scenario: unknown adaptation mode %q (want %q or %q)",
 			a.Mode, AdaptStatic, AdaptPerPhase)
 	}
+}
+
+// ChannelSpec selects one link-quality model (version 3). Model decides
+// which of the remaining fields apply. Bernoulli requires an explicit
+// PRR; the shadowing and capture parameters all default when zero.
+type ChannelSpec struct {
+	// Model is "perfect", "bernoulli" or "shadowing".
+	Model string `json:"model"`
+	// PRR parameterizes "bernoulli": the fixed per-link delivery
+	// probability.
+	PRR float64 `json:"prr,omitempty"`
+	// PathLossExp, SigmaDB, EdgeMarginDB and WidthDB parameterize
+	// "shadowing" (see channel.Shadowing).
+	PathLossExp  float64 `json:"path_loss_exp,omitempty"`
+	SigmaDB      float64 `json:"sigma_db,omitempty"`
+	EdgeMarginDB float64 `json:"edge_margin_db,omitempty"`
+	WidthDB      float64 `json:"width_db,omitempty"`
+	// Capture enables the power-capture collision model in the
+	// simulator; CaptureDB is its margin in dB (0 selects the default).
+	Capture   bool    `json:"capture,omitempty"`
+	CaptureDB float64 `json:"capture_db,omitempty"`
+}
+
+// Model materializes the channel model the spec selects.
+func (c ChannelSpec) model() (channel.Model, error) {
+	return channel.New(c.Model,
+		channel.Bernoulli{PRR: c.PRR},
+		channel.Shadowing{
+			PathLossExp:  c.PathLossExp,
+			SigmaDB:      c.SigmaDB,
+			EdgeMarginDB: c.EdgeMarginDB,
+			WidthDB:      c.WidthDB,
+		})
 }
 
 // TopologySpec selects one topology.Generator. Kind decides which of
@@ -258,6 +297,17 @@ func (s Spec) Validate() error {
 	if s.SpecVersion < 2 && (len(s.Phases) > 0 || s.Adaptation != nil) {
 		return fmt.Errorf("scenario %s: phases and adaptation need spec version 2 (got %d)", s.Name, s.SpecVersion)
 	}
+	if s.SpecVersion < 3 && s.Channel != nil {
+		return fmt.Errorf("scenario %s: a channel block needs spec version 3 (got %d)", s.Name, s.SpecVersion)
+	}
+	if s.Channel != nil {
+		if _, err := s.Channel.model(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if s.Channel.CaptureDB < 0 {
+			return fmt.Errorf("scenario %s: capture threshold %v dB must be non-negative", s.Name, s.Channel.CaptureDB)
+		}
+	}
 	if len(s.Phases) > 0 {
 		if s.Traffic != (TrafficSpec{}) {
 			return fmt.Errorf("scenario %s: traffic and phases are mutually exclusive", s.Name)
@@ -314,9 +364,30 @@ type Materialized struct {
 	Radio radio.Radio
 }
 
+// ChannelKind returns the link-quality family the spec selects:
+// "perfect" when no channel block is present.
+func (s Spec) ChannelKind() string {
+	if s.Channel == nil || s.Channel.Model == "" {
+		return "perfect"
+	}
+	return s.Channel.Model
+}
+
+// CaptureConfig returns whether the simulator should enable the capture
+// effect for this scenario, and with which margin in dB (0 selects the
+// simulator default).
+func (s Spec) CaptureConfig() (enabled bool, thresholdDB float64) {
+	if s.Channel == nil {
+		return false, 0
+	}
+	return s.Channel.Capture, s.Channel.CaptureDB
+}
+
 // Materialize builds the network (resampling deterministically from
-// Spec.Seed until connected), the traffic model and the derived flows.
-// Equal specs always materialize identical objects.
+// Spec.Seed until connected), stamps its links with the channel model's
+// quality (also deterministic in Spec.Seed), and builds the traffic
+// model and the derived flows. Equal specs always materialize identical
+// objects.
 func (s Spec) Materialize() (*Materialized, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -325,6 +396,12 @@ func (s Spec) Materialize() (*Materialized, error) {
 	net, err := gen.Build(rand.New(rand.NewSource(s.Seed)))
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.Channel != nil {
+		ch, _ := s.Channel.model()
+		if err := channel.Apply(ch, net, s.Seed); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
 	}
 	model, _ := s.trafficModel()
 	flows, err := traffic.ComputeRates(net, model.MeanRates(net))

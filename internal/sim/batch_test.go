@@ -6,18 +6,29 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/edmac-project/edmac/internal/channel"
 	"github.com/edmac-project/edmac/internal/opt"
 	"github.com/edmac-project/edmac/internal/radio"
 	"github.com/edmac-project/edmac/internal/topology"
 )
 
 // batchConfigs builds one runnable config per protocol plus seed
-// variations — the matrix a batch must reproduce bit-identically.
+// variations — the matrix a batch must reproduce bit-identically. The
+// matrix covers both channels: perfect links and a lossy shadowed
+// network with capture, so the parallel-equals-sequential proof (run
+// under -race in CI) extends to the per-link draw machinery.
 func batchConfigs(t *testing.T) []Config {
 	t.Helper()
 	net, err := topology.Rings(topology.RingModel{Depth: 3, Density: 4})
 	if err != nil {
 		t.Fatalf("Rings: %v", err)
+	}
+	lossyNet, err := topology.Rings(topology.RingModel{Depth: 3, Density: 4})
+	if err != nil {
+		t.Fatalf("Rings: %v", err)
+	}
+	if err := channel.Apply(channel.Shadowing{}, lossyNet, 5); err != nil {
+		t.Fatalf("Apply: %v", err)
 	}
 	prof, err := radio.Profile("cc2420")
 	if err != nil {
@@ -44,6 +55,10 @@ func batchConfigs(t *testing.T) []Config {
 			c.Params = params[proto]
 			c.Seed = seed
 			cfgs = append(cfgs, c)
+			lossy := c
+			lossy.Network = lossyNet
+			lossy.Capture = true
+			cfgs = append(cfgs, lossy)
 		}
 	}
 	return cfgs

@@ -54,6 +54,13 @@ type Packet struct {
 	Origin topology.NodeID
 	// Created is the sampling time.
 	Created Time
+	// delivered marks a packet the sink has already counted, so a
+	// protocol-level duplicate — a retry after a lost ACK delivers a
+	// second copy — is recorded as a duplicate, not a second delivery.
+	// Packets come from an arena that never reuses them (copies of one
+	// packet can sit in several queues at once), so the flag is reliable
+	// for the whole run.
+	delivered bool
 }
 
 // Frame is one on-air MAC frame. Frames sent through a Transceiver are

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"github.com/edmac-project/edmac/internal/channel"
 	"github.com/edmac-project/edmac/internal/radio"
 	"github.com/edmac-project/edmac/internal/topology"
 )
@@ -32,13 +33,20 @@ type transmission struct {
 // Medium is the shared radio channel: unit-disk propagation over the
 // network graph, zero propagation delay, and a collision model in which
 // any overlap of two receptions at a listening node corrupts the locked
-// frame (no capture effect).
+// frame — unless the capture effect is enabled and one frame dominates
+// the other by the capture margin. Networks stamped with lossy links
+// (see topology.Network.SetLink) additionally lose each reception
+// independently with probability 1−PRR, drawn at end of airtime from a
+// deterministic per-directed-link stream.
 //
 // The neighbour lists of the network are cached per node at construction
 // and the in-flight set is a flat slice, so the per-frame hot path
 // (startTx/endTx/busy) does no map or graph lookups and no allocation:
-// transmissions and frames are recycled through free-lists, and the
-// callbacks driving them are allocated once here rather than per event.
+// transmissions and frames are recycled through free-lists, the
+// callbacks driving them are allocated once here rather than per event,
+// and the per-link PRR/gain/RNG tables are built once by enableLoss /
+// enableCapture (never populated for the perfect channel, whose event
+// trace stays byte-identical to the pre-channel simulator).
 type Medium struct {
 	eng        *Engine
 	net        *topology.Network
@@ -48,6 +56,17 @@ type Medium struct {
 	inflight   []*transmission
 	committed  []*transmission // sent but still inside the inter-frame spacing
 	collisions int
+
+	// Channel state: linkPRR/linkGain/linkRNG[from][k] describe the
+	// directed link from → nbrs[from][k]. All nil on a perfect channel.
+	lossy     bool
+	capture   bool
+	captureDB float64
+	linkPRR   [][]float64
+	linkGain  [][]float64
+	linkRNG   [][]channel.DrawStream
+	fades     int // receptions lost to the per-link delivery draw
+	captures  int // overlaps survived via the capture effect
 
 	txPool    []*transmission
 	framePool []*Frame
@@ -87,6 +106,62 @@ func (m *Medium) Transceiver(id topology.NodeID) *Transceiver { return m.xcvrs[i
 
 // Collisions returns the number of corrupted receptions so far.
 func (m *Medium) Collisions() int { return m.collisions }
+
+// ChannelLosses returns the number of receptions lost to the per-link
+// delivery draw (always 0 on a perfect channel).
+func (m *Medium) ChannelLosses() int { return m.fades }
+
+// Captures returns the number of overlaps a frame survived via the
+// capture effect (always 0 when capture is disabled).
+func (m *Medium) Captures() int { return m.captures }
+
+// enableLoss builds the per-link delivery tables from the network's
+// stamped link PRRs and the per-directed-link reception-draw streams
+// derived from the run seed. A no-op on networks without lossy links,
+// so legacy runs never pay for (or perturb) the draw machinery.
+func (m *Medium) enableLoss(seed int64) {
+	if !m.net.Lossy() {
+		return
+	}
+	m.lossy = true
+	m.linkPRR = make([][]float64, len(m.nbrs))
+	m.linkRNG = make([][]channel.DrawStream, len(m.nbrs))
+	for i, nbrs := range m.nbrs {
+		from := topology.NodeID(i)
+		m.linkPRR[i] = make([]float64, len(nbrs))
+		m.linkRNG[i] = make([]channel.DrawStream, len(nbrs))
+		for k, nb := range nbrs {
+			m.linkPRR[i][k] = m.net.LinkPRR(from, nb)
+			m.linkRNG[i][k] = channel.NewDrawStream(channel.DirectedLinkSeed(seed, from, nb))
+		}
+	}
+}
+
+// enableCapture switches the collision model to power capture with the
+// given margin in dB (DefaultCaptureDB when non-positive).
+func (m *Medium) enableCapture(thresholdDB float64) {
+	if thresholdDB <= 0 {
+		thresholdDB = channel.DefaultCaptureDB
+	}
+	m.capture = true
+	m.captureDB = thresholdDB
+	m.ensureGains()
+}
+
+// ensureGains caches the per-link gains the capture comparison reads.
+func (m *Medium) ensureGains() {
+	if m.linkGain != nil {
+		return
+	}
+	m.linkGain = make([][]float64, len(m.nbrs))
+	for i, nbrs := range m.nbrs {
+		from := topology.NodeID(i)
+		m.linkGain[i] = make([]float64, len(nbrs))
+		for k, nb := range nbrs {
+			m.linkGain[i][k] = m.net.LinkGainDB(from, nb)
+		}
+	}
+}
 
 // newFrame returns a zeroed frame from the pool. The medium reclaims it
 // after the transmission ends and every upcall has returned.
@@ -164,7 +239,7 @@ func (m *Medium) dropCommitted(tx *transmission) {
 func (m *Medium) startTx(tx *transmission) {
 	m.dropCommitted(tx)
 	m.addInflight(tx)
-	for _, nb := range m.nbrs[tx.from] {
+	for k, nb := range m.nbrs[tx.from] {
 		m.carriers[nb]++
 		x := m.xcvrs[nb]
 		switch {
@@ -172,22 +247,59 @@ func (m *Medium) startTx(tx *transmission) {
 			// Clean channel at a listening node: lock onto the frame.
 			x.lock = tx
 			x.lockBad = false
+			if m.capture {
+				x.lockGain = m.linkGain[tx.from][k]
+			}
 			x.setState(radio.Rx)
 		case x.state == radio.Rx && x.lock != nil:
-			// Overlap corrupts whatever was being received.
-			x.lockBad = true
-			m.collisions++
+			m.overlap(x, tx, k)
 		}
 		// Sleeping or transmitting nodes miss the frame entirely.
 	}
 	m.eng.AtCall(tx.endAt, m.endTxCb, tx)
 }
 
+// overlap resolves a second frame arriving at a receiving node. Without
+// capture any overlap corrupts the locked frame; with capture the frame
+// whose received power dominates the other's by the capture margin
+// survives — an intact locked frame powers through a weak interferer,
+// and a sufficiently strong late arrival steals the lock (its first bit
+// is on the air now, so a clean reception of it is possible).
+//
+// Once a lock is corrupted, lockGain keeps tracking the strongest frame
+// involved in the pile-up, so a late arrival only steals the lock by
+// dominating every frame heard so far, not just the first one. (The
+// strongest earlier frame may have left the air by then; accepting that
+// approximation keeps the bookkeeping O(1) per overlap and errs toward
+// corruption, never toward phantom deliveries.)
+func (m *Medium) overlap(x *Transceiver, tx *transmission, k int) {
+	if m.capture {
+		newGain := m.linkGain[tx.from][k]
+		if !x.lockBad && x.lockGain >= newGain+m.captureDB {
+			m.captures++
+			return
+		}
+		if newGain >= x.lockGain+m.captureDB {
+			x.lock = tx
+			x.lockBad = false
+			x.lockGain = newGain
+			m.captures++
+			return
+		}
+		if newGain > x.lockGain {
+			x.lockGain = newGain
+		}
+	}
+	// Overlap corrupts whatever was being received.
+	x.lockBad = true
+	m.collisions++
+}
+
 // endTx removes the transmission, delivers it where reception survived,
 // and recycles the frame and the transmission record.
 func (m *Medium) endTx(tx *transmission) {
 	m.dropInflight(tx)
-	for _, nb := range m.nbrs[tx.from] {
+	for k, nb := range m.nbrs[tx.from] {
 		m.carriers[nb]--
 		x := m.xcvrs[nb]
 		if x.lock != tx {
@@ -197,6 +309,15 @@ func (m *Medium) endTx(tx *transmission) {
 		x.lock = nil
 		x.lockBad = false
 		x.setState(radio.Listen)
+		if ok && m.lossy {
+			// Per-receiver delivery draw: the link passes this frame with
+			// probability PRR, from the directed link's own deterministic
+			// stream (Float64 is in [0, 1), so a PRR of 1 never loses).
+			if m.linkRNG[tx.from][k].Float64() >= m.linkPRR[tx.from][k] {
+				ok = false
+				m.fades++
+			}
+		}
 		if ok && x.handler != nil {
 			x.handler.OnFrame(tx.frame)
 		}
@@ -277,6 +398,7 @@ type Transceiver struct {
 	acc      [5]float64 // seconds per radio.State (1-indexed)
 	lock     *transmission
 	lockBad  bool
+	lockGain float64 // received power (dB) of the locked frame (capture)
 	sending  *Frame
 	txDoneCb func(any) // cached: end-of-transmission without a new closure
 }
@@ -335,10 +457,13 @@ func (m *Medium) midLock(x *Transceiver) {
 		if tx.frame.Kind != FramePreamble {
 			continue
 		}
-		for _, nb := range m.nbrs[tx.from] {
+		for k, nb := range m.nbrs[tx.from] {
 			if nb == x.id {
 				x.lock = tx
 				x.lockBad = false
+				if m.capture {
+					x.lockGain = m.linkGain[tx.from][k]
+				}
 				x.setState(radio.Rx)
 				return
 			}

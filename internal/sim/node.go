@@ -7,8 +7,8 @@ import (
 	"github.com/edmac-project/edmac/internal/topology"
 )
 
-// queueCap bounds the per-node forwarding queue; overflow drops the
-// oldest packet (and counts it) rather than growing without bound.
+// queueCap bounds the per-node forwarding queue; overflow sheds the
+// incoming packet (and counts it) rather than growing without bound.
 const queueCap = 64
 
 // packetArenaBlock is how many packets a packetArena allocates at once.
@@ -98,14 +98,15 @@ func (n *node) newFrame(kind FrameKind, dst topology.NodeID, bytes int, pkt *Pac
 	return f
 }
 
-// push appends a packet to the forwarding queue, dropping the oldest on
-// overflow.
+// push appends a packet to the forwarding queue. A full queue sheds the
+// incoming packet: evicting the head instead would silently swap out
+// the packet the MAC may be mid-handshake on, so the later pop() would
+// discard a different packet than the one just acknowledged, corrupting
+// the dropped/delivered accounting.
 func (n *node) push(p *Packet) {
 	if n.qlen == queueCap {
-		n.queue[n.qhead] = nil
-		n.qhead = (n.qhead + 1) % queueCap
-		n.qlen--
 		n.metrics.recordDropped()
+		return
 	}
 	n.queue[(n.qhead+n.qlen)%queueCap] = p
 	n.qlen++
@@ -132,9 +133,17 @@ func (n *node) pop() {
 func (n *node) queueLen() int { return n.qlen }
 
 // accept handles a data frame addressed to this node: the sink records
-// the delivery, forwarders enqueue for the next hop.
+// the delivery, forwarders enqueue for the next hop. Each packet counts
+// once — a second copy arriving after a lost ACK made the sender retry
+// is a duplicate, kept out of the delivery count and the delay samples
+// (it would bias the mean and p95 and push DeliveryRatio beyond 1).
 func (n *node) accept(p *Packet) {
 	if n.isSink() {
+		if p.delivered {
+			n.metrics.recordDuplicate()
+			return
+		}
+		p.delivered = true
 		n.metrics.recordDelivery(p.Origin, n.eng.Now()-p.Created)
 		return
 	}

@@ -62,7 +62,7 @@ func RunPhased(cfg Config, phases []PhaseConfig) (*Result, error) {
 	}
 
 	eng := NewEngine()
-	med := NewMedium(eng, cfg.Network, cfg.Radio)
+	med := newMediumFor(eng, cfg)
 	metrics := &Metrics{}
 	n := cfg.Network.N()
 	nodes := buildNodes(cfg, eng, med, metrics)

@@ -242,7 +242,7 @@ func TestMetricsQuantiles(t *testing.T) {
 	if !math.IsNaN(empty.MeanDelay()) || !math.IsNaN(empty.QuantileDelay(0.5)) {
 		t.Error("empty metrics should yield NaN delays")
 	}
-	if empty.DeliveryRatio() != 1 {
-		t.Error("idle run should report delivery ratio 1")
+	if empty.DeliveryRatio() != 0 {
+		t.Error("idle run should report delivery ratio 0 (the SimReport convention)")
 	}
 }

@@ -38,8 +38,16 @@ type Config struct {
 	// Duration is the simulated time in seconds.
 	Duration float64
 	// Seed drives every random choice; equal seeds reproduce runs
-	// exactly.
+	// exactly. Networks stamped with lossy links additionally derive
+	// per-directed-link reception-draw streams from it.
 	Seed int64
+	// Capture enables the power-capture collision model: instead of
+	// mutual corruption, a frame whose per-link received power exceeds
+	// the competing frame's by at least CaptureDB survives the overlap.
+	Capture bool
+	// CaptureDB is the capture power margin in dB; non-positive selects
+	// channel.DefaultCaptureDB. Ignored unless Capture is set.
+	CaptureDB float64
 }
 
 // Validate reports whether the configuration is runnable.
@@ -96,6 +104,12 @@ type Result struct {
 	Metrics *Metrics
 	// Collisions counts corrupted receptions.
 	Collisions int
+	// ChannelLosses counts receptions lost to the per-link delivery draw
+	// (0 on a perfect channel).
+	ChannelLosses int
+	// Captures counts overlaps a frame survived via the capture effect
+	// (0 when capture is disabled).
+	Captures int
 	// Events is the number of simulator events processed.
 	Events uint64
 	// Energy[i] is node i's consumption over the whole run, in joules.
@@ -140,7 +154,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	eng := NewEngine()
-	med := NewMedium(eng, cfg.Network, cfg.Radio)
+	med := newMediumFor(eng, cfg)
 	metrics := &Metrics{}
 
 	n := cfg.Network.N()
@@ -166,6 +180,19 @@ func Run(cfg Config) (*Result, error) {
 
 	eng.Run(cfg.Duration)
 	return collectResult(cfg.Duration, eng, med, metrics, n), nil
+}
+
+// newMediumFor builds the run's medium with the configured channel
+// behaviour: per-link delivery draws when the network carries lossy
+// links, power capture when requested. Run and RunPhased share it, so
+// the two runners can never disagree on the channel.
+func newMediumFor(eng *Engine, cfg Config) *Medium {
+	med := NewMedium(eng, cfg.Network, cfg.Radio)
+	med.enableLoss(cfg.Seed)
+	if cfg.Capture {
+		med.enableCapture(cfg.CaptureDB)
+	}
+	return med
 }
 
 // buildNodes constructs the per-node state of a run. The seed formula
@@ -223,13 +250,15 @@ func buildMACs(protocol string, params opt.Vector, net *topology.Network, nodes 
 // collectResult assembles the public result after the engine drained.
 func collectResult(duration float64, eng *Engine, med *Medium, metrics *Metrics, n int) *Result {
 	res := &Result{
-		Duration:   duration,
-		Metrics:    metrics,
-		Collisions: med.Collisions(),
-		Events:     eng.Processed(),
-		Energy:     make([]float64, n),
-		ListenTime: make([]float64, n),
-		TxTime:     make([]float64, n),
+		Duration:      duration,
+		Metrics:       metrics,
+		Collisions:    med.Collisions(),
+		ChannelLosses: med.ChannelLosses(),
+		Captures:      med.Captures(),
+		Events:        eng.Processed(),
+		Energy:        make([]float64, n),
+		ListenTime:    make([]float64, n),
+		TxTime:        make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
 		x := med.Transceiver(topology.NodeID(i))

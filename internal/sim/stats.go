@@ -17,26 +17,35 @@ type delaySample struct {
 
 // Metrics aggregates application-level outcomes of a run.
 type Metrics struct {
-	generated int
-	delivered int
-	dropped   int
-	samples   []delaySample
+	generated  int
+	delivered  int
+	duplicates int
+	dropped    int
+	samples    []delaySample
 }
 
 // Generated returns the number of application packets sampled.
 func (m *Metrics) Generated() int { return m.generated }
 
-// Delivered returns the number of packets that reached the sink.
+// Delivered returns the number of distinct packets that reached the
+// sink; protocol-level duplicates are counted separately (Duplicates).
 func (m *Metrics) Delivered() int { return m.delivered }
+
+// Duplicates returns the number of redundant sink receptions: copies of
+// already-delivered packets retransmitted after a lost ACK.
+func (m *Metrics) Duplicates() int { return m.duplicates }
 
 // Dropped returns the number of packets abandoned after retry exhaustion
 // or queue overflow.
 func (m *Metrics) Dropped() int { return m.dropped }
 
-// DeliveryRatio returns delivered/generated (1 for an idle run).
+// DeliveryRatio returns delivered/generated, defined as 0 for an idle
+// run — the one convention this layer and the public SimReport share,
+// so the two can never disagree. Deliveries are deduplicated, so the
+// ratio never exceeds 1.
 func (m *Metrics) DeliveryRatio() float64 {
 	if m.generated == 0 {
-		return 1
+		return 0
 	}
 	return float64(m.delivered) / float64(m.generated)
 }
@@ -104,6 +113,7 @@ func (m *Metrics) QuantileDelay(q float64) float64 {
 }
 
 func (m *Metrics) recordGenerated() { m.generated++ }
+func (m *Metrics) recordDuplicate() { m.duplicates++ }
 func (m *Metrics) recordDropped()   { m.dropped++ }
 func (m *Metrics) recordDelivery(origin topology.NodeID, delay Time) {
 	m.delivered++

@@ -20,7 +20,11 @@ func (p Point) Dist(q Point) float64 {
 }
 
 // Network is an explicit unit-disk-graph network with a designated sink
-// and a shortest-path routing tree. Networks are immutable after New.
+// and a shortest-path routing tree. Networks are immutable after
+// construction, which for lossy channels includes the link-quality
+// stamping pass: every generator emits links at the perfect default
+// (PRR 1), and a channel model may overwrite them via SetLink before
+// the network is shared (see internal/channel.Apply).
 type Network struct {
 	pos      []Point
 	radioRng float64
@@ -30,6 +34,16 @@ type Network struct {
 	children [][]NodeID
 	subtree  []int
 	depth    int
+
+	// linkPRR[i][k] is the packet reception ratio of the directed link
+	// i → adj[i][k]; linkGain[i][k] its received-power gain in dB (an
+	// arbitrary but mutually comparable scale — the simulator's capture
+	// effect only compares gains). Both are nil until SetLink first
+	// diverges a link from the perfect default, so the zero-configuration
+	// network costs nothing.
+	linkPRR  [][]float64
+	linkGain [][]float64
+	lossy    bool
 }
 
 // New builds a network from node positions. positions[0] is the sink.
@@ -227,6 +241,113 @@ func (net *Network) TwoHopNeighbors(id NodeID) []NodeID {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
+}
+
+// linkIndex returns the position of b in a's (sorted) neighbour list,
+// or -1 when the two nodes are not neighbours.
+func (net *Network) linkIndex(a, b NodeID) int {
+	ids := net.adj[a]
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == b {
+		return lo
+	}
+	return -1
+}
+
+// SetLink stamps the directed link a→b with a packet reception ratio
+// (clamped to [0, 1]) and a received-power gain in dB. It is part of
+// network construction: channel models call it once per link during
+// scenario materialization, before the network is shared (Networks are
+// treated as immutable afterwards). Setting a non-existent link is a
+// no-op.
+func (net *Network) SetLink(a, b NodeID, prr, gainDB float64) {
+	k := net.linkIndex(a, b)
+	if k < 0 {
+		return
+	}
+	if net.linkPRR == nil {
+		n := len(net.pos)
+		net.linkPRR = make([][]float64, n)
+		net.linkGain = make([][]float64, n)
+		for i := range net.adj {
+			net.linkPRR[i] = make([]float64, len(net.adj[i]))
+			net.linkGain[i] = make([]float64, len(net.adj[i]))
+			for j := range net.linkPRR[i] {
+				net.linkPRR[i][j] = 1
+			}
+		}
+	}
+	if prr < 0 {
+		prr = 0
+	}
+	if prr > 1 {
+		prr = 1
+	}
+	net.linkPRR[a][k] = prr
+	net.linkGain[a][k] = gainDB
+	if prr < 1 {
+		net.lossy = true
+	}
+}
+
+// LinkPRR returns the packet reception ratio of the directed link a→b:
+// 1 for every link of a perfect (never-stamped) network or for
+// non-neighbours, the stamped value otherwise.
+func (net *Network) LinkPRR(a, b NodeID) float64 {
+	if net.linkPRR == nil {
+		return 1
+	}
+	k := net.linkIndex(a, b)
+	if k < 0 {
+		return 1
+	}
+	return net.linkPRR[a][k]
+}
+
+// LinkGainDB returns the received-power gain of the directed link a→b
+// in dB (0 when never stamped).
+func (net *Network) LinkGainDB(a, b NodeID) float64 {
+	if net.linkGain == nil {
+		return 0
+	}
+	k := net.linkIndex(a, b)
+	if k < 0 {
+		return 0
+	}
+	return net.linkGain[a][k]
+}
+
+// Lossy reports whether any link carries a PRR below 1 — the switch the
+// simulator uses to keep the perfect-channel hot path draw-free.
+func (net *Network) Lossy() bool { return net.lossy }
+
+// MeanLinkPRR returns the average packet reception ratio over all
+// directed links — the single link quality the analytic ring models
+// (which have no per-link structure) inflate their retransmission
+// expectations with. A perfect network returns exactly 1.
+func (net *Network) MeanLinkPRR() float64 {
+	if net.linkPRR == nil {
+		return 1
+	}
+	sum, n := 0.0, 0
+	for i := range net.linkPRR {
+		for _, p := range net.linkPRR[i] {
+			sum += p
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
 }
 
 // MeanDegree returns the average node degree, an empirical estimate of

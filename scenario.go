@@ -81,6 +81,10 @@ func (sp ScenarioSpec) TrafficKind() string { return sp.spec.TrafficKind() }
 // composition — the scenarios an adaptive suite re-bargains per phase.
 func (sp ScenarioSpec) Phased() bool { return len(sp.spec.Phases) > 0 }
 
+// ChannelKind returns the link-quality family ("perfect", "bernoulli",
+// "shadowing"); scenarios without a channel block are "perfect".
+func (sp ScenarioSpec) ChannelKind() string { return sp.spec.ChannelKind() }
+
 // JSON returns the spec in its canonical indented JSON encoding.
 func (sp ScenarioSpec) JSON() ([]byte, error) { return sp.spec.JSON() }
 
@@ -112,10 +116,13 @@ func (sp ScenarioSpec) Scenario() (Scenario, error) {
 
 // analyticScenarioOf is the one place a materialized scenario collapses
 // to the analytic ring Scenario — ScenarioSpec.Scenario() and the suite
-// runner must agree on this mapping.
+// runner must agree on this mapping. Link quality collapses the same
+// way the topology does: the network's mean link PRR becomes the ring
+// model's homogeneous per-hop PRR (exactly 1, i.e. unset, for perfect
+// channels, keeping legacy scenarios bit-identical).
 func analyticScenarioOf(m *scenario.Materialized) Scenario {
 	ring := m.EquivalentRing()
-	return Scenario{
+	s := Scenario{
 		Depth:          ring.Depth,
 		Density:        ring.Density,
 		SampleInterval: 1 / m.MeanRate(),
@@ -123,6 +130,10 @@ func analyticScenarioOf(m *scenario.Materialized) Scenario {
 		Payload:        m.Spec.Payload,
 		Radio:          m.Spec.Radio,
 	}
+	if prr := m.Network.MeanLinkPRR(); prr < 1 {
+		s.LinkPRR = prr
+	}
+	return s
 }
 
 // SimulateScenario replays a protocol configuration at packet level on
@@ -141,15 +152,18 @@ func SimulateScenario(p Protocol, sp ScenarioSpec, params []float64, o SimOption
 	if err != nil {
 		return SimReport{}, err
 	}
+	capture, captureDB := sp.spec.CaptureConfig()
 	cfg := sim.Config{
-		Protocol: string(p),
-		Network:  m.Network,
-		Radio:    m.Radio,
-		Params:   opt.Vector(append([]float64(nil), params...)),
-		Traffic:  m.Traffic,
-		Payload:  sp.spec.Payload,
-		Duration: o.Duration,
-		Seed:     o.Seed,
+		Protocol:  string(p),
+		Network:   m.Network,
+		Radio:     m.Radio,
+		Params:    opt.Vector(append([]float64(nil), params...)),
+		Traffic:   m.Traffic,
+		Payload:   sp.spec.Payload,
+		Duration:  o.Duration,
+		Seed:      o.Seed,
+		Capture:   capture,
+		CaptureDB: captureDB,
 	}
 	res, err := sim.Run(cfg)
 	if err != nil {

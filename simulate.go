@@ -47,18 +47,25 @@ type SimReport struct {
 	// Nodes is the network size including the sink.
 	Nodes int
 	// Generated, Delivered, Dropped count application packets;
-	// Collisions counts corrupted receptions.
+	// Collisions counts corrupted receptions. Delivered counts each
+	// packet once: redundant sink receptions — a lost ACK (or an
+	// epoch-boundary reconfiguration) makes the sender retransmit a
+	// packet the sink already took — are tallied in Duplicates instead,
+	// so Delivered never exceeds Generated.
 	Generated  int
 	Delivered  int
+	Duplicates int
 	Dropped    int
 	Collisions int
+	// ChannelLosses counts receptions lost to the lossy-link delivery
+	// draw; Captures counts overlaps a frame survived via the capture
+	// effect. Both are 0 on the default perfect channel.
+	ChannelLosses int
+	Captures      int
 	// DeliveryRatio is Delivered/Generated, defined as 0 when the run
 	// generated nothing (a low-rate workload over a short duration), so
-	// reports always carry a finite, JSON-encodable value. Delivered
-	// counts sink receptions, which include protocol-level duplicates —
-	// a lost ACK (or an epoch-boundary reconfiguration) makes the
-	// sender retransmit a packet the sink already took — so the ratio
-	// can exceed 1 under loss.
+	// reports always carry a finite, JSON-encodable value. Deliveries
+	// are deduplicated, so the ratio never exceeds 1.
 	DeliveryRatio float64
 	// MeanDelay, MaxDelay and P95Delay summarize end-to-end delays in
 	// seconds across all delivered packets.
@@ -129,12 +136,6 @@ func prepareSim(p Protocol, s Scenario, params []float64, o SimOptions) (sim.Con
 // outer is the ring whose packets define the reference delay, window the
 // energy-accounting window in seconds.
 func simReportOf(p Protocol, params []float64, seed int64, outer int, window float64, net *topology.Network, res *sim.Result) SimReport {
-	// An idle run delivers nothing of nothing; the report defines that
-	// as ratio 0 so the field stays finite whatever the workload.
-	ratio := 0.0
-	if res.Metrics.Generated() > 0 {
-		ratio = res.Metrics.DeliveryRatio()
-	}
 	return SimReport{
 		Protocol:      p,
 		Params:        append([]float64(nil), params...),
@@ -143,9 +144,14 @@ func simReportOf(p Protocol, params []float64, seed int64, outer int, window flo
 		Nodes:         net.N(),
 		Generated:     res.Metrics.Generated(),
 		Delivered:     res.Metrics.Delivered(),
+		Duplicates:    res.Metrics.Duplicates(),
 		Dropped:       res.Metrics.Dropped(),
 		Collisions:    res.Collisions,
-		DeliveryRatio: ratio,
+		ChannelLosses: res.ChannelLosses,
+		Captures:      res.Captures,
+		// The idle-run (generated 0) ratio-0 convention lives in Metrics,
+		// the single source both layers read.
+		DeliveryRatio: res.Metrics.DeliveryRatio(),
 		MeanDelay:     res.Metrics.MeanDelay(),
 		MaxDelay:      res.Metrics.MaxDelay(),
 		P95Delay:      res.Metrics.QuantileDelay(0.95),

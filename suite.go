@@ -68,6 +68,12 @@ type SuiteScenario struct {
 	RingDensity int `json:"ring_density"`
 	// MeanRate is the average per-node generation rate in packets/s.
 	MeanRate float64 `json:"mean_rate"`
+	// Channel is the link-quality family ("bernoulli", "shadowing");
+	// omitted for the perfect channel, so legacy rows stay byte-stable.
+	Channel string `json:"channel,omitempty"`
+	// MeanLinkPRR is the network's average link reception ratio; omitted
+	// (0) for perfect channels.
+	MeanLinkPRR float64 `json:"mean_link_prr,omitempty"`
 }
 
 // SuiteAnalytic is the game-theoretic side of a suite cell: the Nash
@@ -82,12 +88,21 @@ type SuiteAnalytic struct {
 // SuiteSim is the measured side of a suite cell. Delay fields are
 // omitted when nothing qualifying was delivered (they would be NaN).
 type SuiteSim struct {
-	Seed             int64    `json:"seed"`
-	Nodes            int      `json:"nodes"`
-	Generated        int      `json:"generated"`
-	Delivered        int      `json:"delivered"`
-	Dropped          int      `json:"dropped"`
-	Collisions       int      `json:"collisions"`
+	Seed      int64 `json:"seed"`
+	Nodes     int   `json:"nodes"`
+	Generated int   `json:"generated"`
+	Delivered int   `json:"delivered"`
+	// Duplicates counts redundant sink receptions (retries after lost
+	// ACKs of already-delivered packets); Delivered excludes them, so
+	// DeliveryRatio never exceeds 1.
+	Duplicates int `json:"duplicates,omitempty"`
+	Dropped    int `json:"dropped"`
+	Collisions int `json:"collisions"`
+	// ChannelLosses counts receptions lost to the lossy-link draw and
+	// Captures overlaps survived via the capture effect; both omitted
+	// (0) on the perfect channel.
+	ChannelLosses    int      `json:"channel_losses,omitempty"`
+	Captures         int      `json:"captures,omitempty"`
 	DeliveryRatio    float64  `json:"delivery_ratio"`
 	MeanDelay        *float64 `json:"mean_delay,omitempty"`
 	P95Delay         *float64 `json:"p95_delay,omitempty"`
@@ -248,7 +263,7 @@ func RunSuite(ctx context.Context, specs []ScenarioSpec, protocols []Protocol, o
 		Cells:     make([]SuiteCell, len(mats)*len(protocols)),
 	}
 	for i, ms := range mats {
-		report.Scenarios[i] = SuiteScenario{
+		row := SuiteScenario{
 			Name:        ms.spec.Name,
 			Description: ms.spec.Description,
 			Topology:    ms.spec.Topology.Kind,
@@ -260,6 +275,11 @@ func RunSuite(ctx context.Context, specs []ScenarioSpec, protocols []Protocol, o
 			RingDensity: ms.analytic.Density,
 			MeanRate:    ms.mat.MeanRate(),
 		}
+		if ms.mat.Network.Lossy() {
+			row.Channel = ms.spec.ChannelKind()
+			row.MeanLinkPRR = ms.mat.Network.MeanLinkPRR()
+		}
+		report.Scenarios[i] = row
 	}
 
 	err := par.ForEach(ctx, len(report.Cells), o.Workers, func(idx int) {
@@ -315,15 +335,18 @@ func runSuiteCell(spec scenario.Spec, mat *scenario.Materialized, analytic Scena
 	params, raised := effectiveParams(p, res.Bargain.Params, minSlots)
 	cell.Params = params
 	cell.SlotsRaised = raised
+	capture, captureDB := spec.CaptureConfig()
 	cfg := sim.Config{
-		Protocol: string(p),
-		Network:  mat.Network,
-		Radio:    mat.Radio,
-		Params:   opt.Vector(params),
-		Traffic:  mat.Traffic,
-		Payload:  spec.Payload,
-		Duration: o.Duration,
-		Seed:     suiteCellSeed(o.Seed, spec.Name, p),
+		Protocol:  string(p),
+		Network:   mat.Network,
+		Radio:     mat.Radio,
+		Params:    opt.Vector(params),
+		Traffic:   mat.Traffic,
+		Payload:   spec.Payload,
+		Duration:  o.Duration,
+		Seed:      suiteCellSeed(o.Seed, spec.Name, p),
+		Capture:   capture,
+		CaptureDB: captureDB,
 	}
 	simRes, err := sim.Run(cfg)
 	if err != nil {
@@ -430,8 +453,11 @@ func suiteSimOf(rep SimReport) *SuiteSim {
 		Nodes:            rep.Nodes,
 		Generated:        rep.Generated,
 		Delivered:        rep.Delivered,
+		Duplicates:       rep.Duplicates,
 		Dropped:          rep.Dropped,
 		Collisions:       rep.Collisions,
+		ChannelLosses:    rep.ChannelLosses,
+		Captures:         rep.Captures,
 		DeliveryRatio:    rep.DeliveryRatio,
 		MeanDelay:        finiteOrNil(rep.MeanDelay),
 		P95Delay:         finiteOrNil(rep.P95Delay),
