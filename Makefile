@@ -7,9 +7,9 @@
 # whenever a PR intentionally moves the needle).
 
 GO         ?= go
-BENCH      ?= Figure|Frontier|Sweep|SimValidation|SimulatorEventRate|SimulateBatch
+BENCH      ?= Figure|Frontier|Sweep|SimValidation|SimulatorEventRate|SimulateBatch|ServeOptimizeCached
 BENCHTIME  ?= 1s
-GATE_BENCH ?= SimulatorEventRate
+GATE_BENCH ?= SimulatorEventRate|ServeOptimizeCached
 GATE_TOL   ?= 0.15
 
 .PHONY: build test race vet fmt bench bench-gate bench-baseline suite golden suite-golden check

@@ -2,6 +2,7 @@ package edmac
 
 import (
 	"context"
+	"encoding/json"
 
 	"github.com/edmac-project/edmac/internal/macmodel"
 	"github.com/edmac-project/edmac/internal/sim"
@@ -11,9 +12,9 @@ import (
 // BatchRun describes one simulation of a batch: a protocol, its
 // parameter vector and the run options (duration, seed).
 type BatchRun struct {
-	Protocol Protocol
-	Params   []float64
-	Options  SimOptions
+	Protocol Protocol   `json:"protocol"`
+	Params   []float64  `json:"params"`
+	Options  SimOptions `json:"options,omitempty"`
 }
 
 // BatchOutcome is one BatchRun's result. Err is non-nil when the run
@@ -22,6 +23,23 @@ type BatchOutcome struct {
 	Run    BatchRun
 	Report SimReport
 	Err    error
+}
+
+// MarshalJSON encodes the outcome with Err surfaced as its message
+// string (as Comparison does), so wire consumers see failed runs
+// explicitly instead of a zero report.
+func (o BatchOutcome) MarshalJSON() ([]byte, error) {
+	w := struct {
+		Run    BatchRun   `json:"run"`
+		Report *SimReport `json:"report,omitempty"`
+		Error  string     `json:"error,omitempty"`
+	}{Run: o.Run}
+	if o.Err != nil {
+		w.Error = o.Err.Error()
+	} else {
+		w.Report = &o.Report
+	}
+	return json.Marshal(w)
 }
 
 // SimulateBatch executes independent simulation runs concurrently on a
@@ -36,9 +54,21 @@ type BatchOutcome struct {
 // configuration studies (different parameter vectors or protocols under
 // one scenario).
 //
-// Cancelling ctx abandons runs not yet started; their outcomes carry
-// ctx.Err(). A nil ctx means context.Background().
+// Cancelling ctx abandons runs not yet started and aborts runs in
+// flight; their outcomes carry ctx.Err(). A nil ctx means
+// context.Background().
+//
+// Deprecated: use (*Client).Batch; this wrapper delegates to the
+// package-default client and behaves identically.
 func SimulateBatch(ctx context.Context, s Scenario, runs []BatchRun, workers int) []BatchOutcome {
+	rep, _ := defaultClient().Batch(ctx, BatchRequest{Scenario: &s, Runs: runs, Workers: workers})
+	return rep.Outcomes
+}
+
+// simulateBatch is the fan-out behind Client.Batch: every run's seed is
+// folded with the client's base seed, configs are validated up front,
+// and the independent runs execute on the shared worker pool.
+func simulateBatch(ctx context.Context, s Scenario, runs []BatchRun, workers int, baseSeed int64) []BatchOutcome {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -49,7 +79,9 @@ func SimulateBatch(ctx context.Context, s Scenario, runs []BatchRun, workers int
 	nets := make([]*topology.Network, len(runs))
 	for i, r := range runs {
 		out[i].Run = r
-		cfg, env, net, err := prepareSim(r.Protocol, s, r.Params, r.Options)
+		opts := r.Options
+		opts.Seed ^= baseSeed
+		cfg, env, net, err := prepareSim(r.Protocol, s, r.Params, opts)
 		if err != nil {
 			out[i].Err = err
 			continue
@@ -75,6 +107,9 @@ func SimulateBatch(ctx context.Context, s Scenario, runs []BatchRun, workers int
 // SimulateSeeds replays one configuration under every given seed
 // concurrently — the Monte-Carlo fan-out behind replicated validation.
 // It is SimulateBatch over runs that differ only in SimOptions.Seed.
+//
+// Deprecated: use (*Client).Batch with per-run seeds; this wrapper
+// delegates to the package-default client and behaves identically.
 func SimulateSeeds(ctx context.Context, p Protocol, s Scenario, params []float64, o SimOptions, seeds []int64, workers int) []BatchOutcome {
 	runs := make([]BatchRun, len(seeds))
 	for i, seed := range seeds {

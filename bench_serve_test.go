@@ -1,0 +1,47 @@
+package edmac_test
+
+// Benchmark for the serve layer's hot path: a cached /v1/optimize
+// round-trip (request decode, canonicalization, LRU hit, response
+// write) — the cost every duplicate request pays once the solver has
+// run. Wired into `make bench-gate`, so the serving overhead cannot
+// silently regress.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/edmac-project/edmac/internal/serve"
+)
+
+func BenchmarkServeOptimizeCached(b *testing.B) {
+	s, err := serve.New(serve.Options{})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	h := s.Handler()
+	body := []byte(`{"protocol":"xmac","requirements":{"energy_budget":0.06,"max_delay":6}}`)
+	do := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	// Warm the cache: every timed iteration must be a HIT.
+	if rec := do(); rec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", rec.Code, rec.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := do()
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+		if rec.Header().Get("X-Cache") != "HIT" {
+			b.Fatal("request missed the cache")
+		}
+	}
+}

@@ -17,7 +17,7 @@ var (
 // cmdFigure regenerates Figure 1 (fig1: Ebudget fixed at 0.06 J, Lmax
 // swept over 1..6 s) or Figure 2 (fig2: Lmax fixed at 6 s, Ebudget swept
 // over 0.01..0.06 J) for one protocol or all three.
-func cmdFigure(args []string, fig1 bool) error {
+func cmdFigure(ctx context.Context, cli *edmac.Client, args []string, fig1 bool) error {
 	fs := flag.NewFlagSet("fig", flag.ContinueOnError)
 	protocol := fs.String("protocol", "all", "protocol (xmac, dmac, lmac, all)")
 	plot := fs.Bool("plot", true, "render an ASCII scatter of frontier and trade-off points")
@@ -30,14 +30,14 @@ func cmdFigure(args []string, fig1 bool) error {
 		protos = []edmac.Protocol{edmac.Protocol(*protocol)}
 	}
 	for _, p := range protos {
-		if err := figureFor(p, scenario(), fig1, *plot); err != nil {
+		if err := figureFor(ctx, cli, p, scenario(), fig1, *plot); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func figureFor(p edmac.Protocol, s edmac.Scenario, fig1, plot bool) error {
+func figureFor(ctx context.Context, cli *edmac.Client, p edmac.Protocol, s edmac.Scenario, fig1, plot bool) error {
 	if fig1 {
 		fmt.Printf("\n== Figure 1 (%s): Ebudget = 0.06 J, Lmax in 1..6 s ==\n", p)
 	} else {
@@ -49,16 +49,18 @@ func figureFor(p edmac.Protocol, s edmac.Scenario, fig1, plot bool) error {
 	// every CPU and returns them in sweep order. The fixed axis of each
 	// figure is the paper's headline requirement pair.
 	anchor := edmac.PaperRequirements()
-	var pts []edmac.SweepPoint
-	var err error
-	if fig1 {
-		pts, err = edmac.SweepMaxDelay(context.Background(), p, s, anchor.EnergyBudget, paperDelays)
-	} else {
-		pts, err = edmac.SweepEnergyBudget(context.Background(), p, s, anchor.MaxDelay, paperBudgets)
+	sweep := edmac.SweepRequest{
+		Protocol: p, Scenario: &s,
+		Axis: edmac.SweepDelay, Fixed: anchor.EnergyBudget, Values: paperDelays,
 	}
+	if !fig1 {
+		sweep.Axis, sweep.Fixed, sweep.Values = edmac.SweepEnergy, anchor.MaxDelay, paperBudgets
+	}
+	rep, err := cli.Sweep(ctx, sweep)
 	if err != nil {
 		return err
 	}
+	pts := rep.Points
 
 	type mark struct{ e, l float64 }
 	var marks []mark
@@ -83,12 +85,16 @@ func figureFor(p edmac.Protocol, s edmac.Scenario, fig1, plot bool) error {
 	if !plot {
 		return nil
 	}
-	front, err := edmac.Frontier(p, s, edmac.Requirements{EnergyBudget: 10, MaxDelay: 6}, 40)
+	frontRep, err := cli.Frontier(ctx, edmac.FrontierRequest{
+		Protocol: p, Scenario: &s,
+		Requirements: edmac.Requirements{EnergyBudget: 10, MaxDelay: 6},
+		Points:       40,
+	})
 	if err != nil {
 		return fmt.Errorf("frontier for plot: %w", err)
 	}
 	var xs, ys []float64
-	for _, f := range front {
+	for _, f := range frontRep.Points {
 		xs = append(xs, f.Energy)
 		ys = append(ys, f.Delay)
 	}

@@ -13,41 +13,54 @@
 //
 // Scenario flags (-depth, -density, -interval, -window, -payload,
 // -radio) are accepted by every subcommand.
+//
+// The command is a thin shell over edmac.Client: one client serves
+// every subcommand, and an interrupt (Ctrl-C) cancels the context the
+// requests run under, aborting solves and sweeps in flight.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	edmac "github.com/edmac-project/edmac"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "edmac:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("missing subcommand (optimize, compare, frontier, fig1, fig2, params)")
+	}
+	cli, err := edmac.NewClient(edmac.WithCache(edmac.DefaultCacheSize))
+	if err != nil {
+		return err
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "optimize":
-		return cmdOptimize(rest)
+		return cmdOptimize(ctx, cli, rest)
 	case "compare":
-		return cmdCompare(rest)
+		return cmdCompare(ctx, cli, rest)
 	case "frontier":
-		return cmdFrontier(rest)
+		return cmdFrontier(ctx, cli, rest)
 	case "fig1":
-		return cmdFigure(rest, true)
+		return cmdFigure(ctx, cli, rest, true)
 	case "fig2":
-		return cmdFigure(rest, false)
+		return cmdFigure(ctx, cli, rest, false)
 	case "params":
-		return cmdParams(rest)
+		return cmdParams(ctx, cli, rest)
 	case "help", "-h", "--help":
 		fmt.Println("subcommands: optimize, compare, frontier, fig1, fig2, params")
 		return nil
@@ -78,7 +91,7 @@ func scenarioFlags(fs *flag.FlagSet) func() edmac.Scenario {
 	}
 }
 
-func cmdOptimize(args []string) error {
+func cmdOptimize(ctx context.Context, cli *edmac.Client, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	protocol := fs.String("protocol", "xmac", "protocol (xmac, dmac, lmac, bmac)")
 	budget := fs.Float64("budget", 0.06, "energy budget per window in joules")
@@ -88,23 +101,22 @@ func cmdOptimize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req := edmac.Requirements{EnergyBudget: *budget, MaxDelay: *deadline}
-	var res edmac.Result
-	var err error
-	if *relaxed {
-		res, err = edmac.OptimizeRelaxed(edmac.Protocol(*protocol), scenario(), req)
-	} else {
-		res, err = edmac.Optimize(edmac.Protocol(*protocol), scenario(), req)
-	}
+	s := scenario()
+	rep, err := cli.Optimize(ctx, edmac.OptimizeRequest{
+		Protocol:     edmac.Protocol(*protocol),
+		Scenario:     &s,
+		Requirements: edmac.Requirements{EnergyBudget: *budget, MaxDelay: *deadline},
+		Relaxed:      *relaxed,
+	})
 	if err != nil {
 		return err
 	}
-	printResult(res, scenario())
+	printResult(ctx, cli, rep.Result, s)
 	return nil
 }
 
-func printResult(res edmac.Result, s edmac.Scenario) {
-	specs, _ := edmac.Params(res.Protocol, s)
+func printResult(ctx context.Context, cli *edmac.Client, res edmac.Result, s edmac.Scenario) {
+	specs := paramTable(ctx, cli, res.Protocol, s)
 	fmt.Printf("protocol      %s\n", res.Protocol)
 	fmt.Printf("requirements  Ebudget=%g J/window, Lmax=%g s\n",
 		res.Requirements.EnergyBudget, res.Requirements.MaxDelay)
@@ -124,6 +136,13 @@ func printResult(res edmac.Result, s edmac.Scenario) {
 	}
 }
 
+// paramTable fetches the parameter specs for labelling, empty on error
+// (labels then fall back to bare numbers, as before).
+func paramTable(ctx context.Context, cli *edmac.Client, p edmac.Protocol, s edmac.Scenario) []edmac.ParamSpec {
+	rep, _ := cli.Params(ctx, edmac.ParamsRequest{Protocol: p, Scenario: &s})
+	return rep.Params
+}
+
 func formatParams(params []float64, specs []edmac.ParamSpec) string {
 	out := ""
 	for i, v := range params {
@@ -139,7 +158,7 @@ func formatParams(params []float64, specs []edmac.ParamSpec) string {
 	return out
 }
 
-func cmdCompare(args []string) error {
+func cmdCompare(ctx context.Context, cli *edmac.Client, args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	budget := fs.Float64("budget", 0.06, "energy budget per window in joules")
 	deadline := fs.Float64("deadline", 6, "maximum end-to-end delay in seconds")
@@ -147,10 +166,16 @@ func cmdCompare(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req := edmac.Requirements{EnergyBudget: *budget, MaxDelay: *deadline}
-	comps := edmac.Compare(scenario(), req)
+	s := scenario()
+	rep, err := cli.Compare(ctx, edmac.CompareRequest{
+		Scenario:     &s,
+		Requirements: edmac.Requirements{EnergyBudget: *budget, MaxDelay: *deadline},
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%-6s %-12s %-10s %-8s %s\n", "proto", "E* [J]", "L* [s]", "flags", "params")
-	for _, c := range comps {
+	for _, c := range rep.Comparisons {
 		if c.Err != nil {
 			fmt.Printf("%-6s infeasible: %v\n", c.Protocol, c.Err)
 			continue
@@ -159,20 +184,19 @@ func cmdCompare(args []string) error {
 		if c.Result.BudgetExceeded {
 			flags = "over-budget"
 		}
-		specs, _ := edmac.Params(c.Protocol, scenario())
 		fmt.Printf("%-6s %-12.5g %-10.4g %-8s %s\n", c.Protocol,
 			c.Result.Bargain.Energy, c.Result.Bargain.Delay, flags,
-			formatParams(c.Result.Bargain.Params, specs))
+			formatParams(c.Result.Bargain.Params, paramTable(ctx, cli, c.Protocol, s)))
 	}
-	if best, ok := edmac.Best(comps); ok {
-		fmt.Printf("best: %s\n", best.Protocol)
+	if rep.Best >= 0 {
+		fmt.Printf("best: %s\n", rep.Comparisons[rep.Best].Protocol)
 	} else {
 		fmt.Println("best: none meets the requirements outright")
 	}
 	return nil
 }
 
-func cmdFrontier(args []string) error {
+func cmdFrontier(ctx context.Context, cli *edmac.Client, args []string) error {
 	fs := flag.NewFlagSet("frontier", flag.ContinueOnError)
 	protocol := fs.String("protocol", "xmac", "protocol")
 	budget := fs.Float64("budget", 0.06, "energy budget per window in joules")
@@ -182,31 +206,37 @@ func cmdFrontier(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	pts, err := edmac.Frontier(edmac.Protocol(*protocol), scenario(),
-		edmac.Requirements{EnergyBudget: *budget, MaxDelay: *deadline}, *points)
+	s := scenario()
+	rep, err := cli.Frontier(ctx, edmac.FrontierRequest{
+		Protocol:     edmac.Protocol(*protocol),
+		Scenario:     &s,
+		Requirements: edmac.Requirements{EnergyBudget: *budget, MaxDelay: *deadline},
+		Points:       *points,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Println("energy_j,delay_s")
-	for _, p := range pts {
+	for _, p := range rep.Points {
 		fmt.Printf("%.6g,%.6g\n", p.Energy, p.Delay)
 	}
 	return nil
 }
 
-func cmdParams(args []string) error {
+func cmdParams(ctx context.Context, cli *edmac.Client, args []string) error {
 	fs := flag.NewFlagSet("params", flag.ContinueOnError)
 	protocol := fs.String("protocol", "xmac", "protocol")
 	scenario := scenarioFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	specs, err := edmac.Params(edmac.Protocol(*protocol), scenario())
+	s := scenario()
+	rep, err := cli.Params(ctx, edmac.ParamsRequest{Protocol: edmac.Protocol(*protocol), Scenario: &s})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%-18s %-6s %-12s %-12s\n", "name", "unit", "min", "max")
-	for _, sp := range specs {
+	for _, sp := range rep.Params {
 		fmt.Printf("%-18s %-6s %-12.5g %-12.5g\n", sp.Name, sp.Unit, sp.Min, sp.Max)
 	}
 	return nil

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunSubcommands(t *testing.T) {
 	tests := []struct {
@@ -25,7 +28,7 @@ func TestRunSubcommands(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(tt.args)
+			err := run(context.Background(), tt.args)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run(%v) error = %v, wantErr %v", tt.args, err, tt.wantErr)
 			}

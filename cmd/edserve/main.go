@@ -1,0 +1,98 @@
+// Command edserve serves the energy-delay bargaining framework over
+// HTTP/JSON: POST a (scenario, requirements) pair to /v1/optimize and
+// get the Nash-bargained operating point back, replay configurations
+// via /v1/simulate, and run scenario×protocol matrices via /v1/suite —
+// with a bounded LRU response cache in front of the solvers and
+// per-request cancellation threaded into the worker pools.
+//
+// Usage:
+//
+//	edserve [-addr :8080] [-cache 256] [-result-cache 256] [-workers 0]
+//
+// The server drains gracefully on SIGINT/SIGTERM: new connections stop,
+// in-flight requests get -drain-timeout to finish (their contexts are
+// cancelled when it expires).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	edmac "github.com/edmac-project/edmac"
+	"github.com/edmac-project/edmac/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("edserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache", edmac.DefaultCacheSize, "response cache entries")
+	resultCache := fs.Int("result-cache", edmac.DefaultCacheSize, "client-side analytic result cache entries")
+	workers := fs.Int("workers", 0, "worker pool size for sweeps, batches and suites (0: one per CPU)")
+	drain := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown grace period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cli, err := edmac.NewClient(
+		edmac.WithWorkers(*workers),
+		edmac.WithCache(*resultCache),
+	)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Options{Client: cli, CacheSize: *cacheSize, Logf: serve.DefaultLogf()})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("edserve: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("edserve: shutting down (grace %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// The grace period expired: close remaining connections; their
+		// request contexts cancel, aborting in-flight work.
+		httpSrv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("edserve: drained cleanly")
+	return nil
+}

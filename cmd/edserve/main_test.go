@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// The serving behaviour itself is integration-tested in internal/serve;
+// the binary's own surface is flag handling.
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-drain-timeout", "nonsense"}); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}

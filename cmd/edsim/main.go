@@ -28,31 +28,41 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	edmac "github.com/edmac-project/edmac"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "edsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("missing subcommand (run, validate)")
+	}
+	// One client serves every subcommand; the signal-aware ctx lets an
+	// interrupt abort simulations (and whole suites) mid-event-loop.
+	cli, err := edmac.NewClient()
+	if err != nil {
+		return err
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "run":
-		return cmdRun(rest, false)
+		return cmdRun(ctx, cli, rest, false)
 	case "validate":
-		return cmdRun(rest, true)
+		return cmdRun(ctx, cli, rest, true)
 	case "suite":
-		return cmdSuite(rest)
+		return cmdSuite(ctx, cli, rest)
 	case "help", "-h", "--help":
 		fmt.Println("subcommands: run, validate, suite")
 		return nil
@@ -61,7 +71,7 @@ func run(args []string) error {
 	}
 }
 
-func cmdRun(args []string, validate bool) error {
+func cmdRun(ctx context.Context, cli *edmac.Client, args []string, validate bool) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	protocol := fs.String("protocol", "xmac", "protocol (xmac, dmac, lmac)")
 	paramsArg := fs.String("params", "", "comma-separated protocol parameters (required)")
@@ -93,40 +103,56 @@ func cmdRun(args []string, validate bool) error {
 	opts := edmac.SimOptions{Duration: *duration, Seed: *seed}
 
 	if *reps > 1 {
-		return runReplicated(edmac.Protocol(*protocol), scenario, params, opts, *reps, validate)
+		return runReplicated(ctx, cli, edmac.Protocol(*protocol), scenario, params, opts, *reps, validate)
 	}
 
-	if validate {
-		rep, err := edmac.Validate(edmac.Protocol(*protocol), scenario, params, opts)
-		if err != nil {
-			return err
-		}
-		printSimReport(rep.SimReport)
-		fmt.Printf("\n%-26s %-14s %-14s %s\n", "metric", "analytic", "measured", "ratio")
-		fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "bottleneck energy [J/win]",
-			rep.AnalyticEnergy, rep.BottleneckEnergy, rep.EnergyRatio)
-		fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "outer-ring delay [s]",
-			rep.AnalyticDelay, rep.OuterRingDelay, rep.DelayRatio)
-		return nil
-	}
-
-	rep, err := edmac.Simulate(edmac.Protocol(*protocol), scenario, params, opts)
+	rep, err := cli.Simulate(ctx, edmac.SimulateRequest{
+		Protocol: edmac.Protocol(*protocol),
+		Scenario: &scenario,
+		Params:   params,
+		Options:  opts,
+		Validate: validate,
+	})
 	if err != nil {
 		return err
 	}
-	printSimReport(rep)
+	printSimReport(rep.Sim)
+	if validate {
+		fmt.Printf("\n%-26s %-14s %-14s %s\n", "metric", "analytic", "measured", "ratio")
+		fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "bottleneck energy [J/win]",
+			rep.Analytic.Energy, rep.Sim.BottleneckEnergy, ratioOrNaN(rep.Analytic.EnergyRatio))
+		fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "outer-ring delay [s]",
+			rep.Analytic.Delay, rep.Sim.OuterRingDelay, ratioOrNaN(rep.Analytic.DelayRatio))
+	}
 	return nil
 }
 
+// ratioOrNaN unboxes an optional ratio, NaN when the measurement was
+// unusable — the value the validate table always printed.
+func ratioOrNaN(r *float64) float64 {
+	if r == nil {
+		return math.NaN()
+	}
+	return *r
+}
+
 // runReplicated fans reps simulations with consecutive seeds across the
-// CPUs via SimulateBatch and prints per-seed rows plus the aggregate.
-func runReplicated(p edmac.Protocol, s edmac.Scenario, params []float64,
+// CPUs via Client.Batch and prints per-seed rows plus the aggregate.
+func runReplicated(ctx context.Context, cli *edmac.Client, p edmac.Protocol, s edmac.Scenario, params []float64,
 	o edmac.SimOptions, reps int, validate bool) error {
 	seeds := make([]int64, reps)
+	runs := make([]edmac.BatchRun, reps)
 	for i := range seeds {
 		seeds[i] = o.Seed + int64(i)
+		opts := o
+		opts.Seed = seeds[i]
+		runs[i] = edmac.BatchRun{Protocol: p, Params: params, Options: opts}
 	}
-	outcomes := edmac.SimulateSeeds(context.Background(), p, s, params, o, seeds, 0)
+	batch, err := cli.Batch(ctx, edmac.BatchRequest{Scenario: &s, Runs: runs})
+	if err != nil {
+		return err
+	}
+	outcomes := batch.Outcomes
 
 	fmt.Printf("protocol          %s  params=%v  reps=%d\n", p, params, reps)
 	fmt.Printf("%-8s %-10s %-12s %-12s %-12s %s\n",
@@ -152,13 +178,13 @@ func runReplicated(p edmac.Protocol, s edmac.Scenario, params []float64,
 	fmt.Printf("%-8s %-10.4f %-12.4g %-12.4g %-12.5g\n", "stddev", sdDeliv, sdDelay, sdOuter, sdEnergy)
 
 	if validate {
-		analyticE, analyticL, err := edmac.Evaluate(p, s, params)
+		eval, err := cli.Evaluate(ctx, edmac.EvaluateRequest{Protocol: p, Scenario: &s, Params: params})
 		if err == nil {
 			fmt.Printf("\n%-26s %-14s %-14s %s\n", "metric", "analytic", "measured", "ratio")
 			fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "bottleneck energy [J/win]",
-				analyticE, mEnergy, mEnergy/analyticE)
+				eval.Energy, mEnergy, mEnergy/eval.Energy)
 			fmt.Printf("%-26s %-14.5g %-14.5g %.2f\n", "outer-ring delay [s]",
-				analyticL, mOuter, mOuter/analyticL)
+				eval.Delay, mOuter, mOuter/eval.Delay)
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,7 +12,7 @@ import (
 // byte-identical to the committed golden report — the engine-level
 // determinism contract (run under -race in CI).
 func TestSuiteGolden(t *testing.T) {
-	if err := run([]string{"suite", "-check", filepath.Join("testdata", "suite_golden.json")}); err != nil {
+	if err := run(context.Background(), []string{"suite", "-check", filepath.Join("testdata", "suite_golden.json")}); err != nil {
 		t.Fatalf("suite drifted from golden: %v", err)
 	}
 }
@@ -20,7 +21,7 @@ func TestSuiteGolden(t *testing.T) {
 // flags.
 func TestSuiteSelections(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "suite.json")
-	err := run([]string{"suite",
+	err := run(context.Background(), []string{"suite",
 		"-scenarios", "ring-baseline",
 		"-protocols", "xmac,scpmac",
 		"-duration", "120",
@@ -43,7 +44,7 @@ func TestSuiteSelections(t *testing.T) {
 		{"suite", "-spec", filepath.Join(t.TempDir(), "missing.json")},
 		{"suite", "-check", filepath.Join(t.TempDir(), "missing-golden.json"), "-scenarios", "ring-baseline", "-protocols", "scpmac"},
 	} {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -54,7 +55,7 @@ func TestSuiteSelections(t *testing.T) {
 // otherwise honour the spec's own adaptation block.
 func TestSuiteAdaptiveFlag(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "suite.json")
-	err := run([]string{"suite",
+	err := run(context.Background(), []string{"suite",
 		"-scenarios", "meadow-stormcycle",
 		"-protocols", "xmac",
 		"-duration", "120",
@@ -77,7 +78,7 @@ func TestSuiteAdaptiveFlag(t *testing.T) {
 
 // TestSuiteList asserts -list works without running anything.
 func TestSuiteList(t *testing.T) {
-	if err := run([]string{"suite", "-list"}); err != nil {
+	if err := run(context.Background(), []string{"suite", "-list"}); err != nil {
 		t.Fatalf("suite -list: %v", err)
 	}
 }
@@ -99,7 +100,7 @@ func TestSuiteSpecFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "suite.json")
-	if err := run([]string{"suite", "-spec", path, "-protocols", "xmac", "-duration", "120", "-out", out}); err != nil {
+	if err := run(context.Background(), []string{"suite", "-spec", path, "-protocols", "xmac", "-duration", "120", "-out", out}); err != nil {
 		t.Fatalf("suite -spec: %v", err)
 	}
 }

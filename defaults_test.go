@@ -1,0 +1,64 @@
+package edmac
+
+import "testing"
+
+// TestEffectiveDefaults pins the one defaulting path: what an unset
+// (or nonsensical) option field means, everywhere options are
+// resolved — legacy wrappers and Client alike.
+func TestEffectiveDefaults(t *testing.T) {
+	if DefaultSimDuration != 1800 {
+		t.Errorf("DefaultSimDuration = %v, want 1800", DefaultSimDuration)
+	}
+	if DefaultSuiteDuration != 400 {
+		t.Errorf("DefaultSuiteDuration = %v, want 400", DefaultSuiteDuration)
+	}
+	if DefaultEnergyBudget() != 0.06 {
+		t.Errorf("DefaultEnergyBudget = %v, want 0.06", DefaultEnergyBudget())
+	}
+
+	sim := SimOptions{}.withDefaults()
+	if sim.Duration != DefaultSimDuration {
+		t.Errorf("sim duration = %v, want %v", sim.Duration, DefaultSimDuration)
+	}
+	if sim.Seed != 0 {
+		t.Errorf("sim seed was defaulted to %d; 0 is a real seed", sim.Seed)
+	}
+	if d := (SimOptions{Duration: -3}).withDefaults().Duration; d != DefaultSimDuration {
+		t.Errorf("negative sim duration resolved to %v", d)
+	}
+	if d := (SimOptions{Duration: 25}).withDefaults().Duration; d != 25 {
+		t.Errorf("explicit sim duration overridden to %v", d)
+	}
+
+	suite := SuiteOptions{}.withDefaults()
+	if suite.Duration != DefaultSuiteDuration {
+		t.Errorf("suite duration = %v, want %v", suite.Duration, DefaultSuiteDuration)
+	}
+	if suite.EnergyBudget != DefaultEnergyBudget() {
+		t.Errorf("suite energy budget = %v, want %v", suite.EnergyBudget, DefaultEnergyBudget())
+	}
+	// MaxDelay 0 is the documented "scale with scenario depth"
+	// convention, Workers < 1 the "one per CPU" convention — neither may
+	// be rewritten here.
+	if suite.MaxDelay != 0 || suite.Workers != 0 || suite.Seed != 0 || suite.Adaptive {
+		t.Errorf("suite defaults touched convention fields: %+v", suite)
+	}
+	full := SuiteOptions{Duration: 12, Seed: 9, Workers: 2, EnergyBudget: 0.02, MaxDelay: 4, Adaptive: true}
+	if got := full.withDefaults(); got != full {
+		t.Errorf("explicit suite options rewritten: %+v", got)
+	}
+}
+
+// TestDefaultPositive pins the shared defaulting rule itself.
+func TestDefaultPositive(t *testing.T) {
+	for _, tc := range []struct{ v, def, want float64 }{
+		{0, 7, 7},
+		{-1, 7, 7},
+		{3, 7, 3},
+		{0.0001, 7, 0.0001},
+	} {
+		if got := defaultPositive(tc.v, tc.def); got != tc.want {
+			t.Errorf("defaultPositive(%v, %v) = %v, want %v", tc.v, tc.def, got, tc.want)
+		}
+	}
+}

@@ -14,19 +14,31 @@
 //     between the two virtual players Energy and Delay, together with
 //     the concrete MAC parameters that realize it.
 //
-// A packet-level discrete-event simulator (Simulate, Validate) replays
+// A packet-level discrete-event simulator (Client.Simulate) replays
 // any configuration on an explicit network and cross-checks the analytic
 // models.
 //
-// Quick start:
+// The entry point is the Client, constructed with functional options
+// and exposing the whole pipeline as (ctx, Request) → (Report, error):
 //
-//	res, err := edmac.Optimize(edmac.XMAC, edmac.DefaultScenario(),
-//	    edmac.Requirements{EnergyBudget: 0.06, MaxDelay: 6})
+//	client, err := edmac.NewClient(edmac.WithCache(edmac.DefaultCacheSize))
 //	if err != nil { ... }
-//	fmt.Println(res.Bargain.Params) // wakeup interval to deploy
+//	rep, err := client.Optimize(ctx, edmac.OptimizeRequest{
+//	    Protocol:     edmac.XMAC,
+//	    Requirements: edmac.Requirements{EnergyBudget: 0.06, MaxDelay: 6},
+//	})
+//	if err != nil { ... }
+//	fmt.Println(rep.Result.Bargain.Params) // wakeup interval to deploy
+//
+// The original top-level functions (Optimize, Simulate, RunSuite, ...)
+// remain as deprecated wrappers over a package-default client and
+// behave exactly as they always have. cmd/edserve serves the same
+// Client API over HTTP/JSON.
 package edmac
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 
 	"github.com/edmac-project/edmac/internal/core"
@@ -67,28 +79,29 @@ func PaperProtocols() []Protocol {
 // the stated requirements; test with errors.Is.
 var ErrInfeasible = nbs.ErrInfeasible
 
-// Scenario describes the deployment the models are evaluated in.
+// Scenario describes the deployment the models are evaluated in. The
+// JSON tags define the wire form the edserve request schema uses.
 type Scenario struct {
 	// Depth is the number of rings D: the farthest nodes are D hops from
 	// the sink.
-	Depth int
+	Depth int `json:"depth"`
 	// Density is the unit-disk neighbourhood density C.
-	Density int
+	Density int `json:"density"`
 	// SampleInterval is the time between application samples per node,
 	// in seconds (the inverse of the paper's Fs).
-	SampleInterval float64
+	SampleInterval float64 `json:"sample_interval"`
 	// Window is the energy-accounting window in seconds; reported
 	// energies are joules per window at the bottleneck node.
-	Window float64
+	Window float64 `json:"window"`
 	// Payload is the application payload in bytes.
-	Payload int
+	Payload int `json:"payload"`
 	// Radio names the transceiver profile: "cc2420" or "cc1101".
-	Radio string
+	Radio string `json:"radio"`
 	// LinkPRR is the per-link packet reception ratio the analytic models
 	// assume on every hop. The zero value means 1 (perfect links); below
 	// 1 the models charge each hop the expected retransmission attempts,
 	// so the bargain reacts to link quality.
-	LinkPRR float64
+	LinkPRR float64 `json:"link_prr,omitempty"`
 }
 
 // DefaultScenario returns the calibrated scenario of the paper
@@ -142,9 +155,9 @@ func (s Scenario) model(p Protocol) (macmodel.Model, error) {
 type Requirements struct {
 	// EnergyBudget is Ebudget: joules per window the bottleneck node may
 	// spend.
-	EnergyBudget float64
+	EnergyBudget float64 `json:"energy_budget"`
 	// MaxDelay is Lmax: the end-to-end delay bound in seconds.
-	MaxDelay float64
+	MaxDelay float64 `json:"max_delay"`
 }
 
 // PaperRequirements returns the headline requirement pair of the paper's
@@ -156,16 +169,27 @@ func PaperRequirements() Requirements {
 // ParamSpec documents one tunable protocol parameter.
 type ParamSpec struct {
 	// Name identifies the parameter (e.g. "wakeup-interval").
-	Name string
+	Name string `json:"name"`
 	// Unit is its physical unit (e.g. "s").
-	Unit string
+	Unit string `json:"unit"`
 	// Min and Max delimit the admissible range.
-	Min, Max float64
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
 }
 
 // Params returns the tunable parameter table of a protocol under the
 // scenario, in the order used by every Params slice in this package.
+//
+// Deprecated: use (*Client).Params; this wrapper delegates to the
+// package-default client and behaves identically.
 func Params(p Protocol, s Scenario) ([]ParamSpec, error) {
+	rep, err := defaultClient().Params(context.Background(),
+		ParamsRequest{Protocol: p, Scenario: &s})
+	return rep.Params, err
+}
+
+// paramSpecs builds the parameter table behind Client.Params.
+func paramSpecs(p Protocol, s Scenario) ([]ParamSpec, error) {
 	m, err := s.model(p)
 	if err != nil {
 		return nil, err
@@ -181,53 +205,65 @@ func Params(p Protocol, s Scenario) ([]ParamSpec, error) {
 // OperatingPoint is a concrete protocol configuration with its metrics.
 type OperatingPoint struct {
 	// Params is the protocol parameter vector (see Params for meaning).
-	Params []float64
+	Params []float64 `json:"params"`
 	// Energy is joules per window at the bottleneck node.
-	Energy float64
+	Energy float64 `json:"energy"`
 	// Delay is the worst-case expected end-to-end delay in seconds.
-	Delay float64
+	Delay float64 `json:"delay"`
 }
 
 // Result is the outcome of playing the energy-delay game.
 type Result struct {
 	// Protocol echoes the protocol played.
-	Protocol Protocol
+	Protocol Protocol `json:"protocol"`
 	// Requirements echoes the application inputs.
-	Requirements Requirements
+	Requirements Requirements `json:"requirements"`
 	// EnergyOptimal is the P1 solution: (Ebest, Lworst).
-	EnergyOptimal OperatingPoint
+	EnergyOptimal OperatingPoint `json:"energy_optimal"`
 	// DelayOptimal is the P2 solution: (Eworst, Lbest).
-	DelayOptimal OperatingPoint
+	DelayOptimal OperatingPoint `json:"delay_optimal"`
 	// WorstEnergy and WorstDelay form the disagreement (threat) point.
-	WorstEnergy float64
-	WorstDelay  float64
+	WorstEnergy float64 `json:"worst_energy"`
+	WorstDelay  float64 `json:"worst_delay"`
 	// Bargain is the Nash Bargaining Solution — the configuration the
 	// framework recommends deploying.
-	Bargain OperatingPoint
+	Bargain OperatingPoint `json:"bargain"`
 	// FairnessEnergy and FairnessDelay are the proportional-fairness
 	// coordinates of the bargain (equal on linear frontiers).
-	FairnessEnergy float64
-	FairnessDelay  float64
+	FairnessEnergy float64 `json:"fairness_energy"`
+	FairnessDelay  float64 `json:"fairness_delay"`
 	// Degenerate reports that the game offered no strict joint
 	// improvement over the disagreement point.
-	Degenerate bool
+	Degenerate bool `json:"degenerate,omitempty"`
 	// BudgetExceeded reports (relaxed mode only) that the requirements
 	// were jointly unattainable and Bargain is the best-effort point
 	// honouring MaxDelay while exceeding EnergyBudget.
-	BudgetExceeded bool
+	BudgetExceeded bool `json:"budget_exceeded,omitempty"`
 }
 
 // Optimize plays the full game for one protocol, failing with
 // ErrInfeasible when the requirements cannot be met.
+//
+// Deprecated: use (*Client).Optimize, which adds context cancellation
+// and result caching; this wrapper delegates to the package-default
+// client and behaves identically.
 func Optimize(p Protocol, s Scenario, r Requirements) (Result, error) {
-	return optimize(p, s, r, false)
+	rep, err := defaultClient().Optimize(context.Background(),
+		OptimizeRequest{Protocol: p, Scenario: &s, Requirements: r})
+	return rep.Result, err
 }
 
 // OptimizeRelaxed is Optimize with the paper's figure behaviour for
 // over-constrained requirements: instead of failing it returns the
 // best-effort point flagged via Result.BudgetExceeded.
+//
+// Deprecated: use (*Client).Optimize with OptimizeRequest.Relaxed;
+// this wrapper delegates to the package-default client and behaves
+// identically.
 func OptimizeRelaxed(p Protocol, s Scenario, r Requirements) (Result, error) {
-	return optimize(p, s, r, true)
+	rep, err := defaultClient().Optimize(context.Background(),
+		OptimizeRequest{Protocol: p, Scenario: &s, Requirements: r, Relaxed: true})
+	return rep.Result, err
 }
 
 func optimize(p Protocol, s Scenario, r Requirements, relaxed bool) (Result, error) {
@@ -270,19 +306,30 @@ func opOf(pt core.OperatingPoint) OperatingPoint {
 
 // FrontierPoint is one point of a protocol's energy-delay Pareto curve.
 type FrontierPoint struct {
-	Params []float64
-	Energy float64
-	Delay  float64
+	Params []float64 `json:"params"`
+	Energy float64   `json:"energy"`
+	Delay  float64   `json:"delay"`
 }
 
 // Frontier traces a protocol's Pareto frontier up to the delay bound —
 // the continuous curves in the paper's figures — with n sweep points.
+//
+// Deprecated: use (*Client).Frontier; this wrapper delegates to the
+// package-default client and behaves identically.
 func Frontier(p Protocol, s Scenario, r Requirements, n int) ([]FrontierPoint, error) {
+	rep, err := defaultClient().Frontier(context.Background(),
+		FrontierRequest{Protocol: p, Scenario: &s, Requirements: r, Points: n})
+	return rep.Points, err
+}
+
+// frontier is the uncached frontier tracer behind Client.Frontier,
+// cancellable at point granularity.
+func frontier(ctx context.Context, p Protocol, s Scenario, r Requirements, n int) ([]FrontierPoint, error) {
 	m, err := s.model(p)
 	if err != nil {
 		return nil, err
 	}
-	pts, err := core.Frontier(m, core.Requirements{EnergyBudget: r.EnergyBudget, MaxDelay: r.MaxDelay}, n)
+	pts, err := core.FrontierContext(ctx, m, core.Requirements{EnergyBudget: r.EnergyBudget, MaxDelay: r.MaxDelay}, n)
 	if err != nil {
 		return nil, err
 	}
@@ -295,23 +342,43 @@ func Frontier(p Protocol, s Scenario, r Requirements, n int) ([]FrontierPoint, e
 
 // Comparison is one protocol's entry in a Compare run. Err is non-nil
 // (wrapping ErrInfeasible) for protocols that cannot meet the
-// requirements even in relaxed mode.
+// requirements even in relaxed mode — failed protocols are reported,
+// never silently dropped, so a comparison always has one entry per
+// protocol played.
 type Comparison struct {
 	Protocol Protocol
 	Result   Result
 	Err      error
 }
 
+// MarshalJSON encodes the comparison with Err surfaced as its message
+// string (the error interface itself has no useful JSON form), so wire
+// consumers see infeasible protocols explicitly.
+func (c Comparison) MarshalJSON() ([]byte, error) {
+	w := struct {
+		Protocol Protocol `json:"protocol"`
+		Result   *Result  `json:"result,omitempty"`
+		Error    string   `json:"error,omitempty"`
+	}{Protocol: c.Protocol}
+	if c.Err != nil {
+		w.Error = c.Err.Error()
+	} else {
+		w.Result = &c.Result
+	}
+	return json.Marshal(w)
+}
+
 // Compare plays the game for every paper protocol under the same
 // requirements (relaxed mode, as in the figures) and returns one entry
 // per protocol in presentation order.
+//
+// Deprecated: use (*Client).Compare, which also surfaces the winner;
+// this wrapper delegates to the package-default client and behaves
+// identically.
 func Compare(s Scenario, r Requirements) []Comparison {
-	out := make([]Comparison, 0, len(PaperProtocols()))
-	for _, p := range PaperProtocols() {
-		res, err := OptimizeRelaxed(p, s, r)
-		out = append(out, Comparison{Protocol: p, Result: res, Err: err})
-	}
-	return out
+	rep, _ := defaultClient().Compare(context.Background(),
+		CompareRequest{Scenario: &s, Requirements: r})
+	return rep.Comparisons
 }
 
 // Best returns the comparison entry whose bargain has the lowest energy
@@ -343,7 +410,17 @@ func vec(m macmodel.Model, params []float64) (opt.Vector, error) {
 
 // Evaluate returns the analytic energy and delay of an explicit
 // parameter vector — useful for what-if exploration around an optimum.
+//
+// Deprecated: use (*Client).Evaluate; this wrapper delegates to the
+// package-default client and behaves identically.
 func Evaluate(p Protocol, s Scenario, params []float64) (energy, delay float64, err error) {
+	rep, err := defaultClient().Evaluate(context.Background(),
+		EvaluateRequest{Protocol: p, Scenario: &s, Params: params})
+	return rep.Energy, rep.Delay, err
+}
+
+// evaluate is the model evaluation behind Client.Evaluate.
+func evaluate(p Protocol, s Scenario, params []float64) (energy, delay float64, err error) {
 	m, err := s.model(p)
 	if err != nil {
 		return 0, 0, err

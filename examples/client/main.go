@@ -1,0 +1,90 @@
+// Client API tour: one edmac.Client — constructed with functional
+// options — serving the whole pipeline as (ctx, Request) → (Report,
+// error): the bargaining game, a cached repeat of it, a packet-level
+// replay, and a streamed scenario×protocol suite.
+//
+//	go run ./examples/client
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+func main() {
+	// One client per process: a bounded result cache in front of the
+	// Nelder-Mead solvers, a fixed worker pool, and a base seed folded
+	// into every simulation seed (this deployment's runs decorrelate
+	// from any other's, while staying reproducible).
+	cli, err := edmac.NewClient(
+		edmac.WithCache(edmac.DefaultCacheSize),
+		edmac.WithWorkers(4),
+		edmac.WithBaseSeed(2026),
+	)
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+
+	// Every request takes a context; a deadline bounds the whole tour.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Play the game. No Scenario in the request means the client's
+	// default deployment.
+	req := edmac.OptimizeRequest{
+		Protocol:     edmac.XMAC,
+		Requirements: edmac.PaperRequirements(),
+	}
+	rep, err := cli.Optimize(ctx, req)
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+	fmt.Printf("X-MAC bargain: E=%.4g J/window, L=%.3g s, params=%v\n",
+		rep.Result.Bargain.Energy, rep.Result.Bargain.Delay, rep.Result.Bargain.Params)
+
+	// The identical request again: served from the LRU, not the solver.
+	if _, err := cli.Optimize(ctx, req); err != nil {
+		log.Fatalf("optimize (repeat): %v", err)
+	}
+	stats := cli.CacheStats()
+	fmt.Printf("result cache: %d hit / %d miss\n", stats.Hits, stats.Misses)
+
+	// Replay the bargain at packet level on a lossy builtin scenario.
+	simRep, err := cli.Simulate(ctx, edmac.SimulateRequest{
+		Protocol:     edmac.XMAC,
+		ScenarioName: "ring-lossy",
+		Params:       rep.Result.Bargain.Params,
+		Options:      edmac.SimOptions{Duration: 300, Seed: 7},
+	})
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+	fmt.Printf("ring-lossy replay: delivery %.3f, channel losses %d, effective seed %d\n",
+		simRep.Sim.DeliveryRatio, simRep.Sim.ChannelLosses, simRep.Sim.Seed)
+
+	// Stream a small suite: cells arrive as they finish, not as one
+	// monolithic report minutes later.
+	ring, _ := edmac.BuiltinScenario("ring-baseline")
+	lossy, _ := edmac.BuiltinScenario("ring-lossy")
+	fmt.Println("suite cells as they complete:")
+	err = cli.SuiteStream(ctx, edmac.SuiteRequest{
+		Scenarios: []edmac.ScenarioSpec{ring, lossy},
+		Protocols: edmac.PaperProtocols(),
+		Options:   edmac.SuiteOptions{Duration: 120, Seed: 1},
+	}, func(cell edmac.SuiteCell) error {
+		if cell.Err != "" {
+			fmt.Printf("  %-14s %-5s failed: %s\n", cell.Scenario, cell.Protocol, cell.Err)
+			return nil
+		}
+		fmt.Printf("  %-14s %-5s E=%.4g J, delivery %.3f\n",
+			cell.Scenario, cell.Protocol, cell.Analytic.Energy, cell.Sim.DeliveryRatio)
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("suite stream: %v", err)
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/edmac-project/edmac/internal/macmodel"
@@ -138,11 +139,22 @@ func optimize(m macmodel.Model, req Requirements, relax bool) (Tradeoff, error) 
 // Frontier traces the protocol's E-L Pareto curve up to MaxDelay — the
 // continuous lines in the paper's figures.
 func Frontier(m macmodel.Model, req Requirements, n int) ([]nbs.Point, error) {
+	return FrontierContext(context.Background(), m, req, n)
+}
+
+// FrontierContext is Frontier with the point-granular cancellation of
+// nbs.FrontierContext.
+func FrontierContext(ctx context.Context, m macmodel.Model, req Requirements, n int) ([]nbs.Point, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	pts, err := nbs.Frontier(GameFor(m, req), req.MaxDelay, n)
+	pts, err := nbs.FrontierContext(ctx, GameFor(m, req), req.MaxDelay, n)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancellation is the caller's doing, not a solver failure;
+			// surface it undecorated so errors.Is keeps working cheaply.
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: %s frontier: %w", m.Name(), err)
 	}
 	return pts, nil

@@ -1,0 +1,95 @@
+// Package lru is the one bounded result-cache primitive behind every
+// caching layer in the module: the Client's analytic result cache and
+// the serve layer's HTTP response cache. Keeping it in one place keeps
+// the semantics — capacity bounding, recency order, hit accounting —
+// identical everywhere.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded, concurrency-safe least-recently-used map from
+// string keys to opaque values. Both reads and writes refresh recency;
+// inserting into a full cache evicts the least recently used entry.
+//
+// The cache stores what it is given: callers that hand out cached
+// values to mutating code must insert (and return) defensive copies.
+// The zero Cache is invalid; use New.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // value: *entry
+	hits    uint64
+	misses  uint64
+}
+
+// entry is one key/value pair, stored in the recency list.
+type entry struct {
+	key   string
+	value any
+}
+
+// New returns an empty cache holding at most capacity entries.
+// Capacities below 1 are clamped to 1 (a cache that can hold nothing
+// cannot satisfy its own contract; callers wanting "no cache" should
+// not construct one).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the value cached under key and refreshes its recency.
+// Every call counts toward the hit/miss statistics.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Add caches value under key, replacing any previous value and evicting
+// the least recently used entry when the cache is full.
+func (c *Cache) Add(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+	}
+	c.entries[key] = c.order.PushFront(&entry{key: key, value: value})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats reports the lifetime hit and miss counts of Get.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

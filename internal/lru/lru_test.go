@@ -1,0 +1,87 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetAddEvict(t *testing.T) {
+	c := New(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "b" is now the LRU entry; inserting "c" must evict it.
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a evicted instead of b: %v, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("Get(c) = %v, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestAddReplacesInPlace(t *testing.T) {
+	c := New(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 10)
+	if c.Len() != 2 {
+		t.Fatalf("replacement grew the cache to %d", c.Len())
+	}
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Fatalf("Get(a) = %v, want 10", v)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(4)
+	c.Add("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	if hits, misses := c.Stats(); hits != 2 || misses != 1 {
+		t.Fatalf("Stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+func TestCapacityClamped(t *testing.T) {
+	c := New(0)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if c.Len() != 1 {
+		t.Fatalf("clamped cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestConcurrentAccess exercises the cache from many goroutines; run
+// under -race it proves the locking discipline.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				c.Add(key, i)
+				c.Get(key)
+				c.Len()
+				c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

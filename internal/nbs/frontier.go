@@ -1,6 +1,7 @@
 package nbs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -16,6 +17,14 @@ import (
 // subproblem is infeasible are skipped. The returned points are ordered
 // by increasing B.
 func Frontier(g Game, hi float64, n int) ([]Point, error) {
+	return FrontierContext(context.Background(), g, hi, n)
+}
+
+// FrontierContext is Frontier with cooperative cancellation: the
+// context is polled before each of the n cap solves, so a done ctx
+// abandons the trace at point granularity and returns the context's
+// error. An uncancellable ctx is free.
+func FrontierContext(ctx context.Context, g Game, hi float64, n int) ([]Point, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -43,6 +52,9 @@ func Frontier(g Game, hi float64, n int) ([]Point, error) {
 
 	points := make([]Point, 0, n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cap := lo + (hi-lo)*float64(i)/float64(n-1)
 		p := opt.Problem{
 			Objective:   g.CostA,

@@ -1,6 +1,8 @@
 package nbs
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -30,6 +32,21 @@ func TestFrontierLinearGame(t *testing.T) {
 		if pts[i].A > pts[i-1].A+1e-6 {
 			t.Errorf("frontier A not non-increasing: %v after %v", pts[i].A, pts[i-1].A)
 		}
+	}
+}
+
+// TestFrontierContextCancelled pins the point-granular abort: a done
+// context stops the trace and surfaces the context's error instead of
+// a partial curve.
+func TestFrontierContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts, err := FrontierContext(ctx, linearGame(1, 1), 1, 11)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if pts != nil {
+		t.Fatalf("cancelled trace returned %d points", len(pts))
 	}
 }
 

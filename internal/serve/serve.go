@@ -1,0 +1,509 @@
+// Package serve is the HTTP/JSON service layer over edmac.Client: the
+// energy-delay bargaining pipeline as a queryable tradeoff service.
+// Clients POST a (scenario, requirements) pair and get the operating
+// point back — the request/response shape of the related work's
+// utility-energy tradeoff services — with a bounded LRU response cache
+// in front of the solvers, so identical requests from many users cost
+// one Nelder-Mead solve, not N.
+//
+// Endpoints (see the README's "Serving edmac" section for payloads):
+//
+//	GET  /healthz       liveness + cache statistics
+//	GET  /v1/scenarios  the builtin scenario registry
+//	POST /v1/optimize   play the game for one protocol
+//	POST /v1/simulate   replay a configuration at packet level
+//	POST /v1/suite      the scenario×protocol matrix (?stream=ndjson
+//	                    delivers cells as they finish)
+//
+// Every handler threads the request context into the client, so a
+// disconnected caller aborts its solve, simulation event loop or suite
+// worker-pool feed instead of burning the backend.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	edmac "github.com/edmac-project/edmac"
+	"github.com/edmac-project/edmac/internal/jsonwire"
+	"github.com/edmac-project/edmac/internal/lru"
+)
+
+// maxBodyBytes bounds request documents; scenario specs are a few KB,
+// so a megabyte is generous.
+const maxBodyBytes = 1 << 20
+
+// Options configure a Server.
+type Options struct {
+	// Client executes the requests; nil builds a default client with a
+	// result cache of DefaultCacheSize entries.
+	Client *edmac.Client
+	// CacheSize bounds the response cache (entries); values below 1
+	// select edmac.DefaultCacheSize.
+	CacheSize int
+	// Logf, when set, receives one line per completed request.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP service. Construct with New; the zero value is
+// invalid. Safe for concurrent use.
+type Server struct {
+	cli   *edmac.Client
+	cache *lru.Cache
+	mux   *http.ServeMux
+	logf  func(format string, args ...any)
+
+	// flights coalesces concurrent identical cache misses: the first
+	// request computes, the rest wait for its response bytes — N users
+	// asking the same question cost one solve even before the cache is
+	// warm.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+}
+
+// flight is one in-progress computation other requests can wait on.
+type flight struct {
+	done chan struct{} // closed when data/err are set
+	data []byte
+	err  error
+}
+
+// New builds the service around its client.
+func New(o Options) (*Server, error) {
+	cli := o.Client
+	if cli == nil {
+		var err error
+		cli, err = edmac.NewClient(edmac.WithCache(edmac.DefaultCacheSize))
+		if err != nil {
+			return nil, err
+		}
+	}
+	size := o.CacheSize
+	if size < 1 {
+		size = edmac.DefaultCacheSize
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{cli: cli, cache: lru.New(size), mux: http.NewServeMux(), logf: logf, flights: map[string]*flight{}}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/suite", s.handleSuite)
+	return s, nil
+}
+
+// Handler returns the service's root handler (logging included).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		s.logf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// CacheStats reports the response cache's lifetime counters — the
+// observable the smoke test (and operators) assert cache behaviour on.
+func (s *Server) CacheStats() edmac.CacheStats {
+	hits, misses := s.cache.Stats()
+	return edmac.CacheStats{Hits: hits, Misses: misses, Entries: s.cache.Len()}
+}
+
+// statusWriter records the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (NDJSON suite cells) to the
+// underlying writer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// --- plumbing ---------------------------------------------------------
+
+// errorBody is the uniform error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// statusClientClosedRequest is the de-facto (nginx) status for requests
+// abandoned by the caller; nothing readable reaches the client, but the
+// request log keeps an honest record.
+const statusClientClosedRequest = 499
+
+// writeError maps a client error onto the wire: infeasible games are
+// 422 (a well-formed request whose requirements cannot be met),
+// abandoned requests 499, everything else a 400 — handlers own no
+// state, so failures are request-induced.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		status = statusClientClosedRequest
+	case errors.Is(err, edmac.ErrInfeasible):
+		status = http.StatusUnprocessableEntity
+	case errors.As(err, &tooBig):
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Nothing user-induced marshals badly; this is a server bug.
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// decodeStrict parses a request document into req, rejecting unknown
+// fields so typos fail loudly (the module-wide spec-parsing
+// convention).
+func decodeStrict(r *http.Request, req any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return fmt.Errorf("request body: %w", err)
+	}
+	return nil
+}
+
+// cacheKey canonicalizes a decoded request — the same rule the
+// Client's result cache keys with (re-marshalling the typed struct
+// erases field order, whitespace and null-vs-absent differences), so
+// the two caching layers always agree on which requests are equal.
+var cacheKey = jsonwire.CacheKey
+
+// serveCached answers from the response cache or computes, caches and
+// answers. Only successful responses are cached. Concurrent identical
+// misses coalesce: one request (the leader) computes while the rest
+// wait for its bytes, so a cold-cache stampede of equal requests costs
+// one solve. The X-Cache header reports HIT, MISS (leader) or
+// COALESCED (waiter) on every cacheable request.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, req any, compute func() (any, error)) {
+	key, cacheable := cacheKey(endpoint, req)
+	if !cacheable {
+		s.computeAndWrite(w, "", compute)
+		return
+	}
+	for {
+		if body, ok := s.cache.Get(key); ok {
+			w.Header().Set("X-Cache", "HIT")
+			writeBody(w, body.([]byte))
+			return
+		}
+		s.flightMu.Lock()
+		if f, ok := s.flights[key]; ok {
+			// Someone else is already computing this answer: wait for it
+			// (or for our own caller to walk away).
+			s.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-r.Context().Done():
+				writeError(w, r.Context().Err())
+				return
+			}
+			if f.err != nil {
+				// The leader may have failed for its own reasons (its
+				// client disconnected mid-solve); retry the loop — the
+				// next round finds the cache, a new flight, or makes
+				// this request the leader.
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					continue
+				}
+				writeError(w, f.err)
+				return
+			}
+			w.Header().Set("X-Cache", "COALESCED")
+			writeBody(w, f.data)
+			return
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.flightMu.Unlock()
+
+		w.Header().Set("X-Cache", "MISS")
+		f.data, f.err = s.computeAndWrite(w, key, compute)
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+		return
+	}
+}
+
+// computeAndWrite runs the computation, writes the response (caching
+// successes under key when non-empty), and returns what it wrote for
+// flight waiters.
+func (s *Server) computeAndWrite(w http.ResponseWriter, key string, compute func() (any, error)) ([]byte, error) {
+	v, err := compute()
+	if err != nil {
+		writeError(w, err)
+		return nil, err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return nil, err
+	}
+	data = append(data, '\n')
+	if key != "" {
+		s.cache.Add(key, data)
+	}
+	writeBody(w, data)
+	return data, nil
+}
+
+// writeBody writes a prepared JSON response body.
+func writeBody(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status        string           `json:"status"`
+		ResponseCache edmac.CacheStats `json:"response_cache"`
+		ResultCache   edmac.CacheStats `json:"result_cache"`
+	}{"ok", s.CacheStats(), s.cli.CacheStats()})
+}
+
+// scenarioInfo is one registry row of GET /v1/scenarios.
+type scenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Topology    string `json:"topology"`
+	Traffic     string `json:"traffic"`
+	Channel     string `json:"channel"`
+	Phased      bool   `json:"phased,omitempty"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	builtins := edmac.BuiltinScenarios()
+	out := make([]scenarioInfo, len(builtins))
+	for i, sp := range builtins {
+		out[i] = scenarioInfo{
+			Name:        sp.Name(),
+			Description: sp.Description(),
+			Topology:    sp.TopologyKind(),
+			Traffic:     sp.TrafficKind(),
+			Channel:     sp.ChannelKind(),
+			Phased:      sp.Phased(),
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Scenarios []scenarioInfo `json:"scenarios"`
+	}{out})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req edmac.OptimizeRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serveCached(w, r, "optimize", req, func() (any, error) {
+		return s.cli.Optimize(r.Context(), req)
+	})
+}
+
+// wireSimReport is SimReport with the NaN-able delay summaries boxed,
+// so the response always encodes (encoding/json rejects NaN). The
+// field set and names match SimReport's tags.
+type wireSimReport struct {
+	Protocol         edmac.Protocol `json:"protocol"`
+	Params           []float64      `json:"params"`
+	Seed             int64          `json:"seed"`
+	Duration         float64        `json:"duration"`
+	Nodes            int            `json:"nodes"`
+	Generated        int            `json:"generated"`
+	Delivered        int            `json:"delivered"`
+	Duplicates       int            `json:"duplicates,omitempty"`
+	Dropped          int            `json:"dropped"`
+	Collisions       int            `json:"collisions"`
+	ChannelLosses    int            `json:"channel_losses,omitempty"`
+	Captures         int            `json:"captures,omitempty"`
+	DeliveryRatio    float64        `json:"delivery_ratio"`
+	MeanDelay        *float64       `json:"mean_delay,omitempty"`
+	MaxDelay         *float64       `json:"max_delay,omitempty"`
+	P95Delay         *float64       `json:"p95_delay,omitempty"`
+	OuterRingDelay   *float64       `json:"outer_ring_delay,omitempty"`
+	BottleneckEnergy float64        `json:"bottleneck_energy"`
+}
+
+func wireSimReportOf(rep edmac.SimReport) wireSimReport {
+	return wireSimReport{
+		Protocol:         rep.Protocol,
+		Params:           rep.Params,
+		Seed:             rep.Seed,
+		Duration:         rep.Duration,
+		Nodes:            rep.Nodes,
+		Generated:        rep.Generated,
+		Delivered:        rep.Delivered,
+		Duplicates:       rep.Duplicates,
+		Dropped:          rep.Dropped,
+		Collisions:       rep.Collisions,
+		ChannelLosses:    rep.ChannelLosses,
+		Captures:         rep.Captures,
+		DeliveryRatio:    rep.DeliveryRatio,
+		MeanDelay:        finiteOrNil(rep.MeanDelay),
+		MaxDelay:         finiteOrNil(rep.MaxDelay),
+		P95Delay:         finiteOrNil(rep.P95Delay),
+		OuterRingDelay:   finiteOrNil(rep.OuterRingDelay),
+		BottleneckEnergy: rep.BottleneckEnergy,
+	}
+}
+
+// finiteOrNil is the module-wide non-finite-scrubbing rule.
+var finiteOrNil = jsonwire.FiniteOrNil
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req edmac.SimulateRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	// Key on the effective request: an absent duration and the explicit
+	// default are the same simulation, so they must share a cache entry.
+	keyReq := req
+	if keyReq.Options.Duration <= 0 {
+		keyReq.Options.Duration = edmac.DefaultSimDuration
+	}
+	s.serveCached(w, r, "simulate", keyReq, func() (any, error) {
+		rep, err := s.cli.Simulate(r.Context(), req)
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			Sim      wireSimReport        `json:"sim"`
+			Analytic *edmac.AnalyticCheck `json:"analytic,omitempty"`
+		}{wireSimReportOf(rep.Sim), rep.Analytic}, nil
+	})
+}
+
+// suiteRequest is the wire form of POST /v1/suite: builtin scenarios
+// by name (empty: the whole registry) against a protocol list (empty:
+// all five).
+type suiteRequest struct {
+	Scenarios []string           `json:"scenarios,omitempty"`
+	Protocols []edmac.Protocol   `json:"protocols,omitempty"`
+	Options   edmac.SuiteOptions `json:"options,omitempty"`
+}
+
+// resolve expands the wire request into the client's SuiteRequest.
+func (req suiteRequest) resolve() (edmac.SuiteRequest, error) {
+	out := edmac.SuiteRequest{Options: req.Options}
+	if len(req.Scenarios) == 0 {
+		out.Scenarios = edmac.BuiltinScenarios()
+	} else {
+		for _, name := range req.Scenarios {
+			sp, ok := edmac.BuiltinScenario(name)
+			if !ok {
+				return edmac.SuiteRequest{}, fmt.Errorf("unknown scenario %q (GET /v1/scenarios lists the registry)", name)
+			}
+			out.Scenarios = append(out.Scenarios, sp)
+		}
+	}
+	out.Protocols = req.Protocols
+	if len(out.Protocols) == 0 {
+		out.Protocols = edmac.Protocols()
+	}
+	return out, nil
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	var req suiteRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resolved, err := req.resolve()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("stream") != "" {
+		s.streamSuite(w, r, resolved)
+		return
+	}
+	// Key on the effective request, not its spelling: the worker count
+	// never changes results (the module-wide determinism contract),
+	// empty selections mean the full registry / all protocols, and
+	// absent options mean their documented defaults — none of those may
+	// fragment the cache.
+	keyReq := req
+	keyReq.Options.Workers = 0
+	if keyReq.Options.Duration <= 0 {
+		keyReq.Options.Duration = edmac.DefaultSuiteDuration
+	}
+	if keyReq.Options.EnergyBudget <= 0 {
+		keyReq.Options.EnergyBudget = edmac.DefaultEnergyBudget()
+	}
+	keyReq.Scenarios = make([]string, len(resolved.Scenarios))
+	for i, sp := range resolved.Scenarios {
+		keyReq.Scenarios[i] = sp.Name()
+	}
+	keyReq.Protocols = resolved.Protocols
+	s.serveCached(w, r, "suite", keyReq, func() (any, error) {
+		return s.cli.Suite(r.Context(), resolved)
+	})
+}
+
+// streamSuite answers ?stream=... requests with NDJSON: one SuiteCell
+// per line, written (and flushed) as each cell finishes — long
+// matrices surface progress instead of a minutes-long silence. Streams
+// bypass the response cache; a disconnecting client cancels the
+// remaining cells through the request context.
+func (s *Server) streamSuite(w http.ResponseWriter, r *http.Request, req edmac.SuiteRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Cache", "BYPASS")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	err := s.cli.SuiteStream(r.Context(), req, func(cell edmac.SuiteCell) error {
+		if err := enc.Encode(cell); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// The status line is long gone; a trailer line keeps the error
+		// visible to stream consumers.
+		enc.Encode(errorBody{Error: err.Error()})
+	}
+}
+
+// DefaultLogf returns a request logger onto the standard log package —
+// what cmd/edserve wires in.
+func DefaultLogf() func(format string, args ...any) {
+	return log.Printf
+}

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+// newTestServer starts the service on an httptest listener and returns
+// it with its backing Server for counter assertions.
+func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Status != "ok" {
+		t.Fatalf("body = %+v, err %v", body, err)
+	}
+}
+
+func TestScenariosListsRegistry(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatalf("GET /v1/scenarios: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Scenarios []struct {
+			Name     string `json:"name"`
+			Topology string `json:"topology"`
+			Channel  string `json:"channel"`
+		} `json:"scenarios"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(body.Scenarios) != len(edmac.BuiltinScenarios()) {
+		t.Fatalf("%d scenarios, want %d", len(body.Scenarios), len(edmac.BuiltinScenarios()))
+	}
+	found := false
+	for _, sc := range body.Scenarios {
+		if sc.Name == "ring-lossy" && sc.Channel == "bernoulli" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ring-lossy/bernoulli missing from the registry listing")
+	}
+}
+
+// TestOptimizeCached is the acceptance gate: a repeated identical
+// optimize request must be served from the LRU response cache,
+// observable in both the X-Cache header and the hit counter — and
+// "identical" means canonically identical, whatever the field order or
+// whitespace of the wire JSON.
+func TestOptimizeCached(t *testing.T) {
+	ts, s := newTestServer(t)
+	url := ts.URL + "/v1/optimize"
+	body := `{"protocol":"xmac","requirements":{"energy_budget":0.06,"max_delay":6}}`
+	// Same request, different field order and spacing.
+	reordered := `{
+		"requirements": {"max_delay": 6, "energy_budget": 0.06},
+		"protocol": "xmac"
+	}`
+
+	resp1, data1 := postJSON(t, url, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d: %s", resp1.StatusCode, data1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first request X-Cache = %q, want MISS", got)
+	}
+	var rep edmac.OptimizeReport
+	if err := json.Unmarshal(data1, &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if len(rep.Result.Bargain.Params) == 0 || rep.Result.Bargain.Energy <= 0 {
+		t.Fatalf("degenerate bargain in response: %+v", rep.Result.Bargain)
+	}
+
+	resp2, data2 := postJSON(t, url, reordered)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second request X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("cached response differs from the computed one")
+	}
+	stats := s.CacheStats()
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", stats)
+	}
+}
+
+func TestOptimizeInfeasibleIs422(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/optimize",
+		`{"protocol":"lmac","requirements":{"energy_budget":0.01,"max_delay":6}}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d (%s), want 422", resp.StatusCode, data)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Fatalf("error body = %s", data)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, tc := range map[string]struct{ url, body string }{
+		"malformed json":   {"/v1/optimize", `{"protocol":`},
+		"unknown field":    {"/v1/optimize", `{"protocol":"xmac","reqs":{}}`},
+		"unknown protocol": {"/v1/optimize", `{"protocol":"smac","requirements":{"energy_budget":0.06,"max_delay":6}}`},
+		"unknown scenario": {"/v1/suite", `{"scenarios":["nope"],"protocols":["xmac"]}`},
+		"two deployments": {"/v1/simulate",
+			`{"protocol":"xmac","scenario_name":"ring-baseline","scenario":{"depth":3,"density":4,"sample_interval":120,"window":60,"payload":32,"radio":"cc2420"},"params":[0.25]}`},
+	} {
+		resp, data := postJSON(t, ts.URL+tc.url, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%s), want 400", name, resp.StatusCode, data)
+		}
+	}
+}
+
+func TestSimulateBuiltinScenario(t *testing.T) {
+	ts, s := newTestServer(t)
+	body := `{"protocol":"xmac","scenario_name":"ring-baseline","params":[0.25],"options":{"duration":60,"seed":7}}`
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var rep struct {
+		Sim struct {
+			Protocol  string  `json:"protocol"`
+			Seed      int64   `json:"seed"`
+			Duration  float64 `json:"duration"`
+			Generated int     `json:"generated"`
+		} `json:"sim"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decode: %v in %s", err, data)
+	}
+	if rep.Sim.Protocol != "xmac" || rep.Sim.Seed != 7 || rep.Sim.Duration != 60 {
+		t.Fatalf("echoed config wrong: %+v", rep.Sim)
+	}
+	// Simulations cache whole responses too.
+	resp2, _ := postJSON(t, ts.URL+"/v1/simulate", body)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("repeat simulate X-Cache = %q, want HIT", got)
+	}
+	if s.CacheStats().Hits == 0 {
+		t.Fatal("hit counter did not move")
+	}
+}
+
+// TestSimulateValidateNaNScrubbed proves a run with unusable delay
+// statistics (nothing delivered at a near-zero rate) still encodes:
+// the NaN fields are omitted, not 500s.
+func TestSimulateValidateNaNScrubbed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"protocol":"xmac","scenario":{"depth":3,"density":4,"sample_interval":1e9,"window":60,"payload":32,"radio":"cc2420"},"params":[0.25],"options":{"duration":30},"validate":true}`
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	if bytes.Contains(data, []byte("NaN")) {
+		t.Fatalf("NaN leaked into response: %s", data)
+	}
+	var rep struct {
+		Sim struct {
+			Generated int      `json:"generated"`
+			MeanDelay *float64 `json:"mean_delay"`
+		} `json:"sim"`
+		Analytic *struct {
+			Energy     float64  `json:"energy"`
+			DelayRatio *float64 `json:"delay_ratio"`
+		} `json:"analytic"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rep.Sim.Generated != 0 || rep.Sim.MeanDelay != nil {
+		t.Fatalf("idle run not as expected: %s", data)
+	}
+	if rep.Analytic == nil || rep.Analytic.Energy <= 0 || rep.Analytic.DelayRatio != nil {
+		t.Fatalf("analytic check wrong: %s", data)
+	}
+}
+
+func TestSuiteEndpoint(t *testing.T) {
+	ts, s := newTestServer(t)
+	body := `{"scenarios":["ring-baseline"],"protocols":["xmac"],"options":{"duration":40,"seed":1}}`
+	resp, data := postJSON(t, ts.URL+"/v1/suite", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var rep edmac.SuiteReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Scenario != "ring-baseline" || rep.Cells[0].Protocol != edmac.XMAC {
+		t.Fatalf("unexpected cells: %+v", rep.Cells)
+	}
+	if rep.Cells[0].Err != "" {
+		t.Fatalf("cell failed: %s", rep.Cells[0].Err)
+	}
+	// Identical suite requests hit the cache.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/suite", body)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("repeat suite X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("cached suite response differs")
+	}
+	if s.CacheStats().Hits == 0 {
+		t.Fatal("hit counter did not move")
+	}
+}
+
+func TestSuiteStreamNDJSON(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"scenarios":["ring-baseline"],"protocols":["xmac","lmac"],"options":{"duration":40,"seed":1}}`
+	resp, err := http.Post(ts.URL+"/v1/suite?stream=ndjson", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	seen := map[edmac.Protocol]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var cell edmac.SuiteCell
+		if err := json.Unmarshal(sc.Bytes(), &cell); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if cell.Err != "" {
+			t.Fatalf("cell error: %s", cell.Err)
+		}
+		seen[cell.Protocol] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if !seen[edmac.XMAC] || !seen[edmac.LMAC] {
+		t.Fatalf("cells missing from stream: %v", seen)
+	}
+}
+
+// TestColdMissCoalescing: concurrent identical requests on a cold
+// cache cost one computation — exactly one MISS leader, everyone else
+// COALESCED (or HIT if they arrived after the cache filled), all with
+// identical bytes.
+func TestColdMissCoalescing(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"protocol":"xmac","scenario":{"depth":4,"density":5,"sample_interval":60,"window":60,"payload":32,"radio":"cc2420"},"params":[0.2],"options":{"duration":2000,"seed":11}}`
+	const n = 6
+	type result struct {
+		cacheHdr string
+		status   int
+		data     []byte
+		err      error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results[i] = result{resp.Header.Get("X-Cache"), resp.StatusCode, data, err}
+		}(i)
+	}
+	wg.Wait()
+	misses := 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, r.status, r.data)
+		}
+		switch r.cacheHdr {
+		case "MISS":
+			misses++
+		case "COALESCED", "HIT":
+		default:
+			t.Fatalf("request %d: X-Cache = %q", i, r.cacheHdr)
+		}
+		if !bytes.Equal(r.data, results[0].data) {
+			t.Fatalf("request %d: response bytes diverge", i)
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d MISS leaders, want exactly 1", misses)
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	ts, _ := newTestServer(t)
+	big := append([]byte(`{"protocol":"`), bytes.Repeat([]byte("x"), 2<<20)...)
+	big = append(big, []byte(`"}`)...)
+	resp, data := postJSON(t, ts.URL+"/v1/optimize", string(big))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d (%s), want 413", resp.StatusCode, data)
+	}
+}
+
+// TestInFlightAbortOnDisconnect is the acceptance gate for request
+// cancellation: a client that walks away mid-simulation must abort the
+// backend's event loop, not leave it running to completion. The
+// simulated workload below takes minutes if run fully; the handler
+// must return within seconds of the disconnect.
+func TestInFlightAbortOnDisconnect(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	handlerDone := make(chan struct{})
+	var once sync.Once
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.Handler().ServeHTTP(w, r)
+		if r.URL.Path == "/v1/simulate" {
+			once.Do(func() { close(handlerDone) })
+		}
+	})
+	ts := httptest.NewServer(wrapped)
+	defer ts.Close()
+
+	// A dense, long simulation: ~8 wakeups per second per node on 31
+	// nodes over 10^6 simulated seconds — far beyond the deadline below
+	// if the event loop ignored cancellation.
+	body := `{"protocol":"xmac","scenario":{"depth":5,"density":6,"sample_interval":120,"window":60,"payload":50,"radio":"cc2420"},"params":[0.125],"options":{"duration":1000000}}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/simulate", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("request unexpectedly completed with status %d", resp.StatusCode)
+		}
+		errCh <- err
+	}()
+
+	// Let the simulation spin up, then walk away.
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+
+	if err := <-errCh; err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("client error = %v, want context canceled", err)
+	}
+	select {
+	case <-handlerDone:
+		// The backend noticed the disconnect and aborted.
+	case <-time.After(30 * time.Second):
+		t.Fatal("handler still running 30s after client disconnect; in-flight work was not aborted")
+	}
+}

@@ -23,11 +23,13 @@ type BatchResult struct {
 // bit-identical to calling Run sequentially on each config; concurrency
 // changes only the wall clock. Cancelling ctx skips configs not yet
 // started (their entries carry ctx.Err(), and an already-cancelled
-// context runs nothing); runs already in flight complete.
+// context runs nothing) and aborts runs already in flight via
+// RunContext, so a cancelled batch returns within a few thousand
+// events per worker; aborted entries carry the context's error.
 func RunBatch(ctx context.Context, cfgs []Config, workers int) []BatchResult {
 	out := make([]BatchResult, len(cfgs))
 	err := par.ForEach(ctx, len(cfgs), workers, func(i int) {
-		res, err := Run(cfgs[i])
+		res, err := RunContext(ctx, cfgs[i])
 		out[i] = BatchResult{Result: res, Err: err}
 	})
 	if err != nil {

@@ -23,6 +23,8 @@
 // bit-identical to executing the same configs sequentially.
 package sim
 
+import "context"
+
 // Time is virtual simulation time in seconds. It is a float64 rather
 // than time.Duration because it feeds the same closed-form arithmetic as
 // the analytic models (it is compared against them directly).
@@ -190,11 +192,44 @@ func (e *Engine) DropPending() {
 // Run executes events in timestamp order until the queue empties or the
 // next event lies beyond `until`; the clock then advances to `until`.
 func (e *Engine) Run(until Time) {
+	e.RunContext(nil, until)
+}
+
+// ctxCheckInterval is how many events RunContext processes between
+// context polls. Polling is a channel-select per check, so the interval
+// trades abort latency (a few thousand events, microseconds of wall
+// clock) against per-event overhead on the hot path.
+const ctxCheckInterval = 4096
+
+// RunContext is Run with cooperative cancellation: every
+// ctxCheckInterval events it polls ctx and, when the context is done,
+// stops mid-run and returns the context's error. A nil ctx — or one
+// that can never be cancelled, like context.Background() — is never
+// polled, so uncancellable runs execute the exact event sequence Run
+// does. An abandoned engine keeps its partial state; callers discard
+// it (a cancelled run reports no result).
+func (e *Engine) RunContext(ctx context.Context, until Time) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	countdown := ctxCheckInterval
 	for len(e.order) > 0 {
 		slot := e.order[0]
 		ev := &e.events[slot]
 		if ev.at > until {
 			break
+		}
+		if done != nil {
+			countdown--
+			if countdown == 0 {
+				countdown = ctxCheckInterval
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 		}
 		e.now = ev.at
 		fn, do, arg := ev.fn, ev.do, ev.arg
@@ -210,6 +245,7 @@ func (e *Engine) Run(until Time) {
 	if e.now < until {
 		e.now = until
 	}
+	return nil
 }
 
 // --- indexed 4-ary min-heap over the order slice ----------------------

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/edmac-project/edmac/internal/opt"
@@ -37,6 +38,14 @@ type PhaseConfig struct {
 // instants, same metrics. Determinism matches Run: equal (cfg, phases)
 // reproduce the run exactly.
 func RunPhased(cfg Config, phases []PhaseConfig) (*Result, error) {
+	return RunPhasedContext(context.Background(), cfg, phases)
+}
+
+// RunPhasedContext is RunPhased with the cooperative-cancellation
+// contract of RunContext: a done ctx aborts the current epoch's event
+// loop and returns the context's error; an uncancellable ctx is never
+// polled and reproduces RunPhased exactly.
+func RunPhasedContext(ctx context.Context, cfg Config, phases []PhaseConfig) (*Result, error) {
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("sim: phased run needs at least one phase")
 	}
@@ -108,7 +117,9 @@ func RunPhased(cfg Config, phases []PhaseConfig) (*Result, error) {
 				scheduleArrivals(eng, times[j:next[i]], mac, topology.NodeID(i), metrics, &nextID, arena)
 			}
 		}
-		eng.Run(ph.Until)
+		if err := eng.RunContext(ctx, ph.Until); err != nil {
+			return nil, fmt.Errorf("sim: run aborted: %w", err)
+		}
 		if ph.Until < cfg.Duration {
 			eng.DropPending()
 			med.quiesce()

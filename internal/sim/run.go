@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -150,6 +151,16 @@ func (r *Result) MeanRingEnergyPerWindow(net *topology.Network, ring int, window
 
 // Run executes the configured simulation to completion.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is done the
+// event loop aborts within a few thousand events and the context's
+// error is returned (no partial result). An uncancellable ctx — nil,
+// context.Background() — is never polled, so such runs are
+// event-for-event identical to Run; threading a cancellable context
+// changes nothing but the ability to abort.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -178,7 +189,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	eng.Run(cfg.Duration)
+	if err := eng.RunContext(ctx, cfg.Duration); err != nil {
+		return nil, fmt.Errorf("sim: run aborted: %w", err)
+	}
 	return collectResult(cfg.Duration, eng, med, metrics, n), nil
 }
 

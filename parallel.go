@@ -2,6 +2,7 @@ package edmac
 
 import (
 	"context"
+	"encoding/json"
 
 	"github.com/edmac-project/edmac/internal/core"
 )
@@ -16,6 +17,23 @@ type SweepPoint struct {
 	Err          error
 }
 
+// MarshalJSON encodes the cell with Err surfaced as its message string
+// (as Comparison does), so wire consumers see infeasible cells
+// explicitly instead of an empty result.
+func (p SweepPoint) MarshalJSON() ([]byte, error) {
+	w := struct {
+		Requirements Requirements `json:"requirements"`
+		Result       *Result      `json:"result,omitempty"`
+		Error        string       `json:"error,omitempty"`
+	}{Requirements: p.Requirements}
+	if p.Err != nil {
+		w.Error = p.Err.Error()
+	} else {
+		w.Result = &p.Result
+	}
+	return json.Marshal(w)
+}
+
 // SweepMaxDelay solves the paper's Figure 1 series for one protocol —
 // the energy budget fixed, the delay bound taking each value in delays —
 // fanning the independent cells over a worker pool (one worker per CPU).
@@ -24,34 +42,50 @@ type SweepPoint struct {
 // are deterministic and the models immutable, so parallelism changes
 // only the wall clock. Cancelling ctx abandons unsolved cells and
 // returns ctx.Err(). A nil ctx means context.Background().
+//
+// Deprecated: use (*Client).Sweep with SweepDelay; this wrapper
+// delegates to the package-default client and behaves identically.
 func SweepMaxDelay(ctx context.Context, p Protocol, s Scenario, energyBudget float64, delays []float64) ([]SweepPoint, error) {
-	m, err := s.model(p)
-	if err != nil {
-		return nil, err
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	pts, err := core.SweepMaxDelayParallel(ctx, m, energyBudget, delays, 0)
-	if err != nil {
-		return nil, err
-	}
-	return sweepPointsOf(p, pts), nil
+	rep, err := defaultClient().Sweep(ctx, SweepRequest{
+		Protocol: p, Scenario: &s, Axis: SweepDelay, Fixed: energyBudget, Values: delays,
+	})
+	return rep.Points, err
 }
 
 // SweepEnergyBudget solves the paper's Figure 2 series for one protocol —
 // the delay bound fixed, the energy budget taking each value in budgets —
 // with the same ordering, determinism and cancellation contract as
 // SweepMaxDelay.
+//
+// Deprecated: use (*Client).Sweep with SweepEnergy; this wrapper
+// delegates to the package-default client and behaves identically.
 func SweepEnergyBudget(ctx context.Context, p Protocol, s Scenario, maxDelay float64, budgets []float64) ([]SweepPoint, error) {
+	rep, err := defaultClient().Sweep(ctx, SweepRequest{
+		Protocol: p, Scenario: &s, Axis: SweepEnergy, Fixed: maxDelay, Values: budgets,
+	})
+	return rep.Points, err
+}
+
+// sweepMaxDelay is the varying-Lmax series behind Client.Sweep.
+func sweepMaxDelay(ctx context.Context, p Protocol, s Scenario, energyBudget float64, delays []float64, workers int) ([]SweepPoint, error) {
 	m, err := s.model(p)
 	if err != nil {
 		return nil, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
+	pts, err := core.SweepMaxDelayParallel(ctx, m, energyBudget, delays, workers)
+	if err != nil {
+		return nil, err
 	}
-	pts, err := core.SweepEnergyBudgetParallel(ctx, m, maxDelay, budgets, 0)
+	return sweepPointsOf(p, pts), nil
+}
+
+// sweepEnergyBudget is the varying-Ebudget series behind Client.Sweep.
+func sweepEnergyBudget(ctx context.Context, p Protocol, s Scenario, maxDelay float64, budgets []float64, workers int) ([]SweepPoint, error) {
+	m, err := s.model(p)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := core.SweepEnergyBudgetParallel(ctx, m, maxDelay, budgets, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package edmac
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 
 	"github.com/edmac-project/edmac/internal/opt"
@@ -88,6 +90,27 @@ func (sp ScenarioSpec) ChannelKind() string { return sp.spec.ChannelKind() }
 // JSON returns the spec in its canonical indented JSON encoding.
 func (sp ScenarioSpec) JSON() ([]byte, error) { return sp.spec.JSON() }
 
+// MarshalJSON encodes the spec compactly, so specs can ride inside
+// larger request documents (SuiteRequest, edserve payloads) and inside
+// the Client's canonical cache keys.
+func (sp ScenarioSpec) MarshalJSON() ([]byte, error) {
+	if err := sp.valid(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(sp.spec)
+}
+
+// UnmarshalJSON decodes and validates an embedded scenario spec with
+// the same strictness as ParseScenario (unknown fields rejected).
+func (sp *ScenarioSpec) UnmarshalJSON(data []byte) error {
+	s, err := scenario.Parse(data)
+	if err != nil {
+		return err
+	}
+	sp.spec = s
+	return nil
+}
+
 // valid reports whether the spec was built by a constructor.
 func (sp ScenarioSpec) valid() error {
 	if sp.spec.Name == "" {
@@ -140,7 +163,21 @@ func analyticScenarioOf(m *scenario.Materialized) Scenario {
 // the spec's explicit network under its traffic model. Params use the
 // same coordinates as the analytic model (see Params); SCPMAC is
 // analytic-only and rejected, as in Simulate.
+//
+// Deprecated: use (*Client).Simulate with SimulateRequest.Spec (or
+// ScenarioName for builtins), whose context can abort the run; this
+// wrapper delegates to the package-default client and behaves
+// identically.
 func SimulateScenario(p Protocol, sp ScenarioSpec, params []float64, o SimOptions) (SimReport, error) {
+	rep, err := defaultClient().Simulate(context.Background(), SimulateRequest{
+		Protocol: p, Spec: &sp, Params: params, Options: o,
+	})
+	return rep.Sim, err
+}
+
+// simulateScenario is the context-aware run behind Client.Simulate's
+// declarative-scenario path.
+func simulateScenario(ctx context.Context, p Protocol, sp ScenarioSpec, params []float64, o SimOptions) (SimReport, error) {
 	if err := sp.valid(); err != nil {
 		return SimReport{}, err
 	}
@@ -165,7 +202,7 @@ func SimulateScenario(p Protocol, sp ScenarioSpec, params []float64, o SimOption
 		Capture:   capture,
 		CaptureDB: captureDB,
 	}
-	res, err := sim.Run(cfg)
+	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		return SimReport{}, err
 	}

@@ -1,0 +1,369 @@
+package edmac_test
+
+// The deprecation contract of the legacy top-level API: every legacy
+// function is a thin wrapper over the package-default Client, so its
+// output must be byte-identical (as canonical JSON) to the Client
+// method it wraps — across all five protocols and on a lossy builtin
+// scenario. CI runs this file under -race, which also proves the
+// default client is safe to share.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+// shimScenario is a deployment every protocol accepts, busy enough
+// that simulations deliver packets (finite delay statistics).
+func shimScenario() edmac.Scenario {
+	s := edmac.DefaultScenario()
+	s.SampleInterval = 120
+	return s
+}
+
+// asJSON canonicalizes any value for byte comparison.
+func asJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}
+
+// mustEqualJSON asserts two values encode identically.
+func mustEqualJSON(t *testing.T, legacy, client any, what string) {
+	t.Helper()
+	l, c := asJSON(t, legacy), asJSON(t, client)
+	if string(l) != string(c) {
+		t.Errorf("%s: legacy and client outputs diverge\nlegacy: %s\nclient: %s", what, l, c)
+	}
+}
+
+func newClient(t *testing.T) *edmac.Client {
+	t.Helper()
+	cli, err := edmac.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return cli
+}
+
+func TestShimOptimizeAllProtocols(t *testing.T) {
+	cli := newClient(t)
+	s := shimScenario()
+	req := edmac.PaperRequirements()
+	for _, p := range edmac.Protocols() {
+		legacy, legacyErr := edmac.OptimizeRelaxed(p, s, req)
+		rep, clientErr := cli.Optimize(context.Background(),
+			edmac.OptimizeRequest{Protocol: p, Scenario: &s, Requirements: req, Relaxed: true})
+		if (legacyErr == nil) != (clientErr == nil) {
+			t.Fatalf("%s: error mismatch: legacy %v, client %v", p, legacyErr, clientErr)
+		}
+		if legacyErr != nil {
+			continue
+		}
+		mustEqualJSON(t, legacy, rep.Result, string(p)+" optimize")
+	}
+}
+
+func TestShimOptimizeInfeasibleAgree(t *testing.T) {
+	cli := newClient(t)
+	s := shimScenario()
+	req := edmac.Requirements{EnergyBudget: 0.01, MaxDelay: 6}
+	_, legacyErr := edmac.Optimize(edmac.LMAC, s, req)
+	_, clientErr := cli.Optimize(context.Background(),
+		edmac.OptimizeRequest{Protocol: edmac.LMAC, Scenario: &s, Requirements: req})
+	if !errors.Is(legacyErr, edmac.ErrInfeasible) || !errors.Is(clientErr, edmac.ErrInfeasible) {
+		t.Fatalf("infeasibility mismatch: legacy %v, client %v", legacyErr, clientErr)
+	}
+	if legacyErr.Error() != clientErr.Error() {
+		t.Fatalf("error messages diverge: %q vs %q", legacyErr, clientErr)
+	}
+}
+
+func TestShimFrontierAllProtocols(t *testing.T) {
+	cli := newClient(t)
+	s := shimScenario()
+	req := edmac.PaperRequirements()
+	for _, p := range edmac.Protocols() {
+		legacy, legacyErr := edmac.Frontier(p, s, req, 8)
+		rep, clientErr := cli.Frontier(context.Background(),
+			edmac.FrontierRequest{Protocol: p, Scenario: &s, Requirements: req, Points: 8})
+		if (legacyErr == nil) != (clientErr == nil) {
+			t.Fatalf("%s: error mismatch: legacy %v, client %v", p, legacyErr, clientErr)
+		}
+		if legacyErr != nil {
+			continue
+		}
+		mustEqualJSON(t, legacy, rep.Points, string(p)+" frontier")
+	}
+}
+
+func TestShimCompare(t *testing.T) {
+	cli := newClient(t)
+	s := shimScenario()
+	req := edmac.PaperRequirements()
+	legacy := edmac.Compare(s, req)
+	rep, err := cli.Compare(context.Background(), edmac.CompareRequest{Scenario: &s, Requirements: req})
+	if err != nil {
+		t.Fatalf("client compare: %v", err)
+	}
+	mustEqualJSON(t, legacy, rep.Comparisons, "compare")
+	// The client surfaces the same winner Best() picks.
+	best, ok := edmac.Best(legacy)
+	if ok != (rep.Best >= 0) {
+		t.Fatalf("winner presence mismatch: legacy %v, client index %d", ok, rep.Best)
+	}
+	if ok && rep.Comparisons[rep.Best].Protocol != best.Protocol {
+		t.Fatalf("winner mismatch: legacy %s, client %s", best.Protocol, rep.Comparisons[rep.Best].Protocol)
+	}
+}
+
+func TestShimSweeps(t *testing.T) {
+	cli := newClient(t)
+	s := shimScenario()
+	ctx := context.Background()
+	for _, p := range edmac.Protocols() {
+		delays := []float64{2, 6}
+		legacy, legacyErr := edmac.SweepMaxDelay(ctx, p, s, 0.06, delays)
+		rep, clientErr := cli.Sweep(ctx, edmac.SweepRequest{
+			Protocol: p, Scenario: &s, Axis: edmac.SweepDelay, Fixed: 0.06, Values: delays,
+		})
+		if (legacyErr == nil) != (clientErr == nil) {
+			t.Fatalf("%s delay sweep: error mismatch: %v vs %v", p, legacyErr, clientErr)
+		}
+		if legacyErr == nil {
+			mustEqualJSON(t, legacy, rep.Points, string(p)+" delay sweep")
+		}
+
+		budgets := []float64{0.03, 0.06}
+		legacy, legacyErr = edmac.SweepEnergyBudget(ctx, p, s, 6, budgets)
+		rep, clientErr = cli.Sweep(ctx, edmac.SweepRequest{
+			Protocol: p, Scenario: &s, Axis: edmac.SweepEnergy, Fixed: 6, Values: budgets,
+		})
+		if (legacyErr == nil) != (clientErr == nil) {
+			t.Fatalf("%s budget sweep: error mismatch: %v vs %v", p, legacyErr, clientErr)
+		}
+		if legacyErr == nil {
+			mustEqualJSON(t, legacy, rep.Points, string(p)+" budget sweep")
+		}
+	}
+}
+
+func TestShimEvaluateAndParams(t *testing.T) {
+	cli := newClient(t)
+	s := shimScenario()
+	ctx := context.Background()
+	for _, p := range edmac.Protocols() {
+		specs, err := edmac.Params(p, s)
+		if err != nil {
+			t.Fatalf("%s params: %v", p, err)
+		}
+		prep, err := cli.Params(ctx, edmac.ParamsRequest{Protocol: p, Scenario: &s})
+		if err != nil {
+			t.Fatalf("%s client params: %v", p, err)
+		}
+		mustEqualJSON(t, specs, prep.Params, string(p)+" params")
+
+		// Evaluate at each parameter's midpoint — always admissible.
+		params := make([]float64, len(specs))
+		for i, sp := range specs {
+			params[i] = (sp.Min + sp.Max) / 2
+		}
+		e, d, err := edmac.Evaluate(p, s, params)
+		if err != nil {
+			t.Fatalf("%s evaluate: %v", p, err)
+		}
+		erep, err := cli.Evaluate(ctx, edmac.EvaluateRequest{Protocol: p, Scenario: &s, Params: params})
+		if err != nil {
+			t.Fatalf("%s client evaluate: %v", p, err)
+		}
+		if e != erep.Energy || d != erep.Delay {
+			t.Errorf("%s evaluate diverges: (%v,%v) vs (%v,%v)", p, e, d, erep.Energy, erep.Delay)
+		}
+	}
+}
+
+// simProtocols are the four protocols the packet simulator implements.
+func simProtocols() []edmac.Protocol {
+	return []edmac.Protocol{edmac.XMAC, edmac.BMAC, edmac.DMAC, edmac.LMAC}
+}
+
+// simParams returns a runnable vector per protocol under shimScenario.
+func shimParams(t *testing.T, p edmac.Protocol, s edmac.Scenario) []float64 {
+	t.Helper()
+	res, err := edmac.OptimizeRelaxed(p, s, edmac.PaperRequirements())
+	if err != nil {
+		t.Fatalf("%s bargain for sim params: %v", p, err)
+	}
+	return res.Bargain.Params
+}
+
+func TestShimSimulateAllProtocols(t *testing.T) {
+	cli := newClient(t)
+	s := shimScenario()
+	o := edmac.SimOptions{Duration: 120, Seed: 3}
+	for _, p := range simProtocols() {
+		params := shimParams(t, p, s)
+		legacy, legacyErr := edmac.Simulate(p, s, params, o)
+		rep, clientErr := cli.Simulate(context.Background(), edmac.SimulateRequest{
+			Protocol: p, Scenario: &s, Params: params, Options: o,
+		})
+		if (legacyErr == nil) != (clientErr == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", p, legacyErr, clientErr)
+		}
+		if legacyErr != nil {
+			continue
+		}
+		mustEqualJSON(t, legacy, rep.Sim, string(p)+" simulate")
+	}
+	// SCPMAC is analytic-only on both paths.
+	_, legacyErr := edmac.Simulate(edmac.SCPMAC, s, []float64{1}, o)
+	_, clientErr := cli.Simulate(context.Background(), edmac.SimulateRequest{
+		Protocol: edmac.SCPMAC, Scenario: &s, Params: []float64{1}, Options: o,
+	})
+	if legacyErr == nil || clientErr == nil || legacyErr.Error() != clientErr.Error() {
+		t.Fatalf("scpmac rejection mismatch: %v vs %v", legacyErr, clientErr)
+	}
+}
+
+func TestShimValidate(t *testing.T) {
+	cli := newClient(t)
+	s := shimScenario()
+	o := edmac.SimOptions{Duration: 400, Seed: 5}
+	params := shimParams(t, edmac.XMAC, s)
+	legacy, err := edmac.Validate(edmac.XMAC, s, params, o)
+	if err != nil {
+		t.Fatalf("legacy validate: %v", err)
+	}
+	rep, err := cli.Simulate(context.Background(), edmac.SimulateRequest{
+		Protocol: edmac.XMAC, Scenario: &s, Params: params, Options: o, Validate: true,
+	})
+	if err != nil {
+		t.Fatalf("client validate: %v", err)
+	}
+	mustEqualJSON(t, legacy.SimReport, rep.Sim, "validate sim report")
+	if rep.Analytic == nil {
+		t.Fatal("client validate carries no analytic check")
+	}
+	if legacy.AnalyticEnergy != rep.Analytic.Energy || legacy.AnalyticDelay != rep.Analytic.Delay {
+		t.Fatalf("analytic values diverge: (%v,%v) vs (%v,%v)",
+			legacy.AnalyticEnergy, legacy.AnalyticDelay, rep.Analytic.Energy, rep.Analytic.Delay)
+	}
+	if rep.Analytic.EnergyRatio == nil || *rep.Analytic.EnergyRatio != legacy.EnergyRatio {
+		t.Fatalf("energy ratio diverges: %v vs %v", rep.Analytic.EnergyRatio, legacy.EnergyRatio)
+	}
+	if rep.Analytic.DelayRatio == nil || *rep.Analytic.DelayRatio != legacy.DelayRatio {
+		t.Fatalf("delay ratio diverges: %v vs %v", rep.Analytic.DelayRatio, legacy.DelayRatio)
+	}
+}
+
+// TestShimSimulateScenarioLossy pins shim equivalence on a lossy
+// builtin: the declarative-scenario path with channel losses in play.
+func TestShimSimulateScenarioLossy(t *testing.T) {
+	cli := newClient(t)
+	sp, ok := edmac.BuiltinScenario("ring-lossy")
+	if !ok {
+		t.Fatal("ring-lossy missing from the registry")
+	}
+	o := edmac.SimOptions{Duration: 120, Seed: 9}
+	for _, p := range simProtocols() {
+		an, err := sp.Scenario()
+		if err != nil {
+			t.Fatalf("analytic bridge: %v", err)
+		}
+		params := shimParams(t, p, an)
+		legacy, legacyErr := edmac.SimulateScenario(p, sp, params, o)
+		rep, clientErr := cli.Simulate(context.Background(), edmac.SimulateRequest{
+			Protocol: p, Spec: &sp, Params: params, Options: o,
+		})
+		if (legacyErr == nil) != (clientErr == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", p, legacyErr, clientErr)
+		}
+		if legacyErr != nil {
+			continue
+		}
+		mustEqualJSON(t, legacy, rep.Sim, string(p)+" lossy scenario simulate")
+		if legacy.ChannelLosses == 0 {
+			t.Errorf("%s: lossy scenario recorded no channel losses; the fixture is not exercising the channel", p)
+		}
+
+		// The builtin-name path resolves to the same spec.
+		named, namedErr := cli.Simulate(context.Background(), edmac.SimulateRequest{
+			Protocol: p, ScenarioName: "ring-lossy", Params: params, Options: o,
+		})
+		if namedErr != nil {
+			t.Fatalf("%s by name: %v", p, namedErr)
+		}
+		mustEqualJSON(t, legacy, named.Sim, string(p)+" lossy scenario by name")
+	}
+}
+
+func TestShimBatchAndSeeds(t *testing.T) {
+	cli := newClient(t)
+	s := shimScenario()
+	params := shimParams(t, edmac.XMAC, s)
+	o := edmac.SimOptions{Duration: 80}
+	seeds := []int64{1, 2, 3}
+	ctx := context.Background()
+
+	legacy := edmac.SimulateSeeds(ctx, edmac.XMAC, s, params, o, seeds, 2)
+	runs := make([]edmac.BatchRun, len(seeds))
+	for i, seed := range seeds {
+		opts := o
+		opts.Seed = seed
+		runs[i] = edmac.BatchRun{Protocol: edmac.XMAC, Params: params, Options: opts}
+	}
+	rep, err := cli.Batch(ctx, edmac.BatchRequest{Scenario: &s, Runs: runs, Workers: 2})
+	if err != nil {
+		t.Fatalf("client batch: %v", err)
+	}
+	if len(legacy) != len(rep.Outcomes) {
+		t.Fatalf("outcome counts diverge: %d vs %d", len(legacy), len(rep.Outcomes))
+	}
+	for i := range legacy {
+		if legacy[i].Err != nil || rep.Outcomes[i].Err != nil {
+			t.Fatalf("run %d errored: %v vs %v", i, legacy[i].Err, rep.Outcomes[i].Err)
+		}
+		mustEqualJSON(t, legacy[i].Report, rep.Outcomes[i].Report, "batch outcome")
+	}
+}
+
+// TestShimSuiteLossy pins the heaviest shim: RunSuite and Client.Suite
+// produce byte-identical canonical JSON on a lossy scenario across an
+// analytic-only and a simulated protocol.
+func TestShimSuiteLossy(t *testing.T) {
+	cli := newClient(t)
+	sp, ok := edmac.BuiltinScenario("ring-lossy")
+	if !ok {
+		t.Fatal("ring-lossy missing")
+	}
+	specs := []edmac.ScenarioSpec{sp}
+	protos := []edmac.Protocol{edmac.XMAC, edmac.SCPMAC}
+	o := edmac.SuiteOptions{Duration: 40, Seed: 1}
+	ctx := context.Background()
+
+	legacy, err := edmac.RunSuite(ctx, specs, protos, o)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	client, err := cli.Suite(ctx, edmac.SuiteRequest{Scenarios: specs, Protocols: protos, Options: o})
+	if err != nil {
+		t.Fatalf("client suite: %v", err)
+	}
+	legacyJSON, err := legacy.JSON()
+	if err != nil {
+		t.Fatalf("legacy JSON: %v", err)
+	}
+	clientJSON, err := client.JSON()
+	if err != nil {
+		t.Fatalf("client JSON: %v", err)
+	}
+	if string(legacyJSON) != string(clientJSON) {
+		t.Fatal("suite reports diverge between RunSuite and Client.Suite")
+	}
+}

@@ -1,6 +1,7 @@
 package edmac
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,8 +12,9 @@ import (
 
 // SimOptions configure a packet-level simulation run.
 type SimOptions struct {
-	// Duration is the simulated time in seconds (default 1800).
-	Duration float64
+	// Duration is the simulated time in seconds (default
+	// DefaultSimDuration).
+	Duration float64 `json:"duration,omitempty"`
 	// Seed drives all randomness; equal seeds reproduce runs exactly.
 	//
 	// Seed convention: the zero value is a real seed, not "randomize" —
@@ -21,63 +23,57 @@ type SimOptions struct {
 	// distinct seeds (SimulateSeeds does this for a whole batch). The
 	// seed a run actually used is echoed in SimReport.Seed, so reports
 	// are self-describing and reproducible from their own content.
-	Seed int64
-}
-
-// withDefaults fills unset options. Note that Seed is deliberately not
-// defaulted: 0 is a valid seed (see the SimOptions.Seed convention).
-func (o SimOptions) withDefaults() SimOptions {
-	if o.Duration <= 0 {
-		o.Duration = 1800
-	}
-	return o
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // SimReport carries the measured outcomes of a simulation run.
+// Delay fields (MeanDelay, MaxDelay, P95Delay, OuterRingDelay) are NaN
+// when nothing qualifying was delivered; JSON encoders must scrub them
+// (the serve layer omits non-finite fields, as SuiteSim does).
 type SimReport struct {
 	// Protocol and Params echo the configuration.
-	Protocol Protocol
-	Params   []float64
+	Protocol Protocol  `json:"protocol"`
+	Params   []float64 `json:"params"`
 	// Seed is the effective random seed the run used (see the
 	// SimOptions.Seed convention); replaying with it reproduces the run
 	// exactly.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Duration is the simulated seconds.
-	Duration float64
+	Duration float64 `json:"duration"`
 	// Nodes is the network size including the sink.
-	Nodes int
+	Nodes int `json:"nodes"`
 	// Generated, Delivered, Dropped count application packets;
 	// Collisions counts corrupted receptions. Delivered counts each
 	// packet once: redundant sink receptions — a lost ACK (or an
 	// epoch-boundary reconfiguration) makes the sender retransmit a
 	// packet the sink already took — are tallied in Duplicates instead,
 	// so Delivered never exceeds Generated.
-	Generated  int
-	Delivered  int
-	Duplicates int
-	Dropped    int
-	Collisions int
+	Generated  int `json:"generated"`
+	Delivered  int `json:"delivered"`
+	Duplicates int `json:"duplicates,omitempty"`
+	Dropped    int `json:"dropped"`
+	Collisions int `json:"collisions"`
 	// ChannelLosses counts receptions lost to the lossy-link delivery
 	// draw; Captures counts overlaps a frame survived via the capture
 	// effect. Both are 0 on the default perfect channel.
-	ChannelLosses int
-	Captures      int
+	ChannelLosses int `json:"channel_losses,omitempty"`
+	Captures      int `json:"captures,omitempty"`
 	// DeliveryRatio is Delivered/Generated, defined as 0 when the run
 	// generated nothing (a low-rate workload over a short duration), so
 	// reports always carry a finite, JSON-encodable value. Deliveries
 	// are deduplicated, so the ratio never exceeds 1.
-	DeliveryRatio float64
+	DeliveryRatio float64 `json:"delivery_ratio"`
 	// MeanDelay, MaxDelay and P95Delay summarize end-to-end delays in
 	// seconds across all delivered packets.
-	MeanDelay float64
-	MaxDelay  float64
-	P95Delay  float64
+	MeanDelay float64 `json:"mean_delay"`
+	MaxDelay  float64 `json:"max_delay"`
+	P95Delay  float64 `json:"p95_delay"`
 	// OuterRingDelay is the mean delay of packets originating at the
 	// outermost ring — the analytic models' reference.
-	OuterRingDelay float64
+	OuterRingDelay float64 `json:"outer_ring_delay"`
 	// BottleneckEnergy is the mean measured energy per accounting window
 	// of ring-1 nodes, in joules — comparable to Result energies.
-	BottleneckEnergy float64
+	BottleneckEnergy float64 `json:"bottleneck_energy"`
 }
 
 // Simulate replays a protocol configuration at packet level on the
@@ -85,12 +81,25 @@ type SimReport struct {
 // delivery, delay and energy. SCPMAC has no simulator implementation
 // (its clock-drift machinery is modelled analytically only) and is
 // rejected.
+//
+// Deprecated: use (*Client).Simulate, whose context can abort a
+// long-running simulation; this wrapper delegates to the
+// package-default client and behaves identically.
 func Simulate(p Protocol, s Scenario, params []float64, o SimOptions) (SimReport, error) {
+	rep, err := defaultClient().Simulate(context.Background(), SimulateRequest{
+		Protocol: p, Scenario: &s, Params: params, Options: o,
+	})
+	return rep.Sim, err
+}
+
+// simulate is the context-aware run behind Client.Simulate's
+// ring-scenario path.
+func simulate(ctx context.Context, p Protocol, s Scenario, params []float64, o SimOptions) (SimReport, error) {
 	cfg, env, net, err := prepareSim(p, s, params, o)
 	if err != nil {
 		return SimReport{}, err
 	}
-	res, err := sim.Run(cfg)
+	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		return SimReport{}, err
 	}
@@ -167,47 +176,39 @@ func simReportOf(p Protocol, params []float64, seed int64, outer int, window flo
 type ValidationReport struct {
 	SimReport
 	// AnalyticEnergy and AnalyticDelay are the model's predictions.
-	AnalyticEnergy float64
-	AnalyticDelay  float64
+	AnalyticEnergy float64 `json:"analytic_energy"`
+	AnalyticDelay  float64 `json:"analytic_delay"`
 	// EnergyRatio and DelayRatio are measured/predicted (NaN when the
 	// measurement is unusable, e.g. nothing was delivered).
-	EnergyRatio float64
-	DelayRatio  float64
+	EnergyRatio float64 `json:"energy_ratio"`
+	DelayRatio  float64 `json:"delay_ratio"`
 }
 
 // Validate simulates a configuration and reports measured-vs-analytic
 // energy and delay — the per-experiment evidence of EXPERIMENTS.md.
+//
+// Deprecated: use (*Client).Simulate with SimulateRequest.Validate,
+// whose context can abort the run; this wrapper delegates to the
+// package-default client and behaves identically.
 func Validate(p Protocol, s Scenario, params []float64, o SimOptions) (ValidationReport, error) {
-	rep, err := Simulate(p, s, params, o)
+	rep, err := defaultClient().Simulate(context.Background(), SimulateRequest{
+		Protocol: p, Scenario: &s, Params: params, Options: o, Validate: true,
+	})
 	if err != nil {
 		return ValidationReport{}, err
 	}
-	energy, delay, err := Evaluate(p, s, params)
-	if err != nil {
-		// The configuration may sit outside the admissible box (e.g. a
-		// deliberately extreme what-if); fall back to raw evaluation.
-		m, merr := s.model(p)
-		if merr != nil {
-			return ValidationReport{}, merr
-		}
-		x, verr := vec(m, params)
-		if verr != nil {
-			return ValidationReport{}, verr
-		}
-		energy, delay = m.Energy(x), m.Delay(x)
-	}
 	out := ValidationReport{
-		SimReport:      rep,
-		AnalyticEnergy: energy,
-		AnalyticDelay:  delay,
+		SimReport:      rep.Sim,
+		AnalyticEnergy: rep.Analytic.Energy,
+		AnalyticDelay:  rep.Analytic.Delay,
 		EnergyRatio:    math.NaN(),
 		DelayRatio:     math.NaN(),
 	}
-	if rep.BottleneckEnergy > 0 {
-		out.EnergyRatio = rep.BottleneckEnergy / energy
+	if rep.Analytic.EnergyRatio != nil {
+		out.EnergyRatio = *rep.Analytic.EnergyRatio
 	}
-	if !math.IsNaN(rep.OuterRingDelay) {
-		out.DelayRatio = rep.OuterRingDelay / delay
+	if rep.Analytic.DelayRatio != nil {
+		out.DelayRatio = *rep.Analytic.DelayRatio
 	}
 	return out, nil
 }

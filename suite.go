@@ -7,9 +7,11 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"sync"
 
 	"github.com/edmac-project/edmac/internal/adapt"
 	"github.com/edmac-project/edmac/internal/core"
+	"github.com/edmac-project/edmac/internal/jsonwire"
 	"github.com/edmac-project/edmac/internal/opt"
 	"github.com/edmac-project/edmac/internal/par"
 	"github.com/edmac-project/edmac/internal/scenario"
@@ -20,37 +22,29 @@ import (
 
 // SuiteOptions configure a RunSuite matrix run.
 type SuiteOptions struct {
-	// Duration is the simulated seconds per cell (default 400).
-	Duration float64
+	// Duration is the simulated seconds per cell (default
+	// DefaultSuiteDuration).
+	Duration float64 `json:"duration,omitempty"`
 	// Seed is the base seed; each cell derives its own seed from it and
 	// the cell's (scenario, protocol) pair, so cells are decorrelated
 	// but the whole suite is reproducible from one number. The zero
 	// value is a real seed (see SimOptions.Seed).
-	Seed int64
-	// Workers bounds the worker pool (one per CPU when < 1).
-	Workers int
+	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds the worker pool (one per CPU when < 1, or the
+	// Client's WithWorkers default on the client path).
+	Workers int `json:"workers,omitempty"`
 	// EnergyBudget is the per-cell requirement Ebudget in joules per
 	// window (default: the paper's 0.06 J).
-	EnergyBudget float64
+	EnergyBudget float64 `json:"energy_budget,omitempty"`
 	// MaxDelay is the per-cell delay bound Lmax in seconds. When 0 it
 	// scales with each scenario's depth (3 + 1.2·D), since a bound fit
 	// for a 3-hop ring is unreachable for a 24-hop tunnel.
-	MaxDelay float64
+	MaxDelay float64 `json:"max_delay,omitempty"`
 	// Adaptive forces per-phase re-bargaining on every phased
 	// (version-2) scenario, whatever its adaptation block says. Phased
 	// scenarios whose spec declares mode "per-phase" adapt even when
 	// this is false; stationary scenarios are never affected.
-	Adaptive bool
-}
-
-func (o SuiteOptions) withDefaults() SuiteOptions {
-	if o.Duration <= 0 {
-		o.Duration = 400
-	}
-	if o.EnergyBudget <= 0 {
-		o.EnergyBudget = PaperRequirements().EnergyBudget
-	}
-	return o
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
 // SuiteScenario summarizes one materialized scenario of a suite report.
@@ -202,17 +196,34 @@ func (r *SuiteReport) JSON() ([]byte, error) {
 // Cancelling ctx abandons the suite and returns ctx.Err(). Per-cell
 // failures (an unmeetable delay bound, an unschedulable LMAC frame) are
 // recorded in the cell's Err field and do not stop the run.
+//
+// Deprecated: use (*Client).Suite (or SuiteStream for incremental
+// delivery); this wrapper delegates to the package-default client and
+// behaves identically.
 func RunSuite(ctx context.Context, specs []ScenarioSpec, protocols []Protocol, o SuiteOptions) (*SuiteReport, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	return defaultClient().Suite(ctx, SuiteRequest{Scenarios: specs, Protocols: protocols, Options: o})
+}
+
+// runSuite is the matrix engine behind Suite and SuiteStream. onCell,
+// when non-nil, observes every finished cell exactly once (serialized,
+// completion order); a non-nil return cancels the remaining cells.
+func (c *Client) runSuite(ctx context.Context, req SuiteRequest, onCell func(SuiteCell) error) (*SuiteReport, error) {
+	ctx, err := ready(ctx)
+	if err != nil {
+		return nil, err
 	}
+	specs, protocols := req.Scenarios, req.Protocols
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("edmac: suite needs at least one scenario")
 	}
 	if len(protocols) == 0 {
 		return nil, fmt.Errorf("edmac: suite needs at least one protocol")
 	}
-	o = o.withDefaults()
+	o := req.Options.withDefaults()
+	o.Seed ^= c.baseSeed
+	if o.Workers < 1 {
+		o.Workers = c.workers
+	}
 
 	// Materialize every scenario once; cells share the immutable result.
 	type matScenario struct {
@@ -282,19 +293,55 @@ func RunSuite(ctx context.Context, specs []ScenarioSpec, protocols []Protocol, o
 		report.Scenarios[i] = row
 	}
 
-	err := par.ForEach(ctx, len(report.Cells), o.Workers, func(idx int) {
+	// Streaming gets its own cancellable context so a consumer error can
+	// stop cells the pool hasn't started yet.
+	cellCtx := ctx
+	var cancel context.CancelCauseFunc
+	if onCell != nil {
+		cellCtx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+	}
+	var mu sync.Mutex
+	var streamErr error
+	err = par.ForEach(cellCtx, len(report.Cells), o.Workers, func(idx int) {
 		ms := mats[idx/len(protocols)]
 		p := protocols[idx%len(protocols)]
-		report.Cells[idx] = runSuiteCell(ms.spec, ms.mat, ms.analytic, ms.minSlots, p, o)
+		cell := runSuiteCell(cellCtx, ms.spec, ms.mat, ms.analytic, ms.minSlots, p, o)
+		report.Cells[idx] = cell
+		if onCell == nil {
+			return
+		}
+		// Cells aborted by cancellation are not suite results — a plain
+		// Suite call would discard the whole report — so they are never
+		// delivered as if they were genuine per-cell failures.
+		if cellCtx.Err() != nil {
+			return
+		}
+		// Serialize delivery; after a consumer error nothing more is
+		// delivered (cells already in flight still finish computing).
+		mu.Lock()
+		defer mu.Unlock()
+		if streamErr != nil {
+			return
+		}
+		if err := onCell(cell); err != nil {
+			streamErr = err
+			cancel(err)
+		}
 	})
+	if streamErr != nil {
+		return nil, streamErr
+	}
 	if err != nil {
 		return nil, err
 	}
 	return report, nil
 }
 
-// runSuiteCell plays one (scenario, protocol) cell.
-func runSuiteCell(spec scenario.Spec, mat *scenario.Materialized, analytic Scenario,
+// runSuiteCell plays one (scenario, protocol) cell. A done ctx aborts
+// the cell's simulations; the cell then carries the context error (the
+// suite as a whole is abandoned anyway).
+func runSuiteCell(ctx context.Context, spec scenario.Spec, mat *scenario.Materialized, analytic Scenario,
 	minSlots int, p Protocol, o SuiteOptions) SuiteCell {
 	maxDelay := o.MaxDelay
 	if maxDelay <= 0 {
@@ -348,7 +395,7 @@ func runSuiteCell(spec scenario.Spec, mat *scenario.Materialized, analytic Scena
 		Capture:   capture,
 		CaptureDB: captureDB,
 	}
-	simRes, err := sim.Run(cfg)
+	simRes, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		cell.Err = err.Error()
 		return cell
@@ -370,7 +417,7 @@ func runSuiteCell(spec scenario.Spec, mat *scenario.Materialized, analytic Scena
 		}
 		phases[i] = sim.PhaseConfig{Params: opt.Vector(ph.Params), Until: ph.End}
 	}
-	adaptRes, err := sim.RunPhased(cfg, phases)
+	adaptRes, err := sim.RunPhasedContext(ctx, cfg, phases)
 	if err != nil {
 		cell.Err = err.Error()
 		return cell
@@ -496,11 +543,6 @@ func writeEscaped(w io.Writer, s string) {
 	w.Write([]byte(s[start:]))
 }
 
-// finiteOrNil boxes a float for JSON, dropping NaN/Inf values (which
-// encoding/json rejects) by omission.
-func finiteOrNil(v float64) *float64 {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return nil
-	}
-	return &v
-}
+// finiteOrNil is the shared non-finite-scrubbing rule; the serve layer
+// uses the same one, so every JSON surface agrees.
+var finiteOrNil = jsonwire.FiniteOrNil

@@ -1,6 +1,7 @@
 package edmac
 
 import (
+	"context"
 	"hash/fnv"
 	"testing"
 )
@@ -107,7 +108,7 @@ func TestRunSuiteCellReportsEffectiveParams(t *testing.T) {
 	analytic := analyticScenarioOf(mat)
 
 	// Baseline: the natural minimum never raises this scenario.
-	plain := runSuiteCell(sp.spec, mat, analytic, mat.Network.MinSlots(), LMAC, o)
+	plain := runSuiteCell(context.Background(), sp.spec, mat, analytic, mat.Network.MinSlots(), LMAC, o)
 	if plain.Err != "" {
 		t.Fatalf("baseline cell failed: %s", plain.Err)
 	}
@@ -118,7 +119,7 @@ func TestRunSuiteCellReportsEffectiveParams(t *testing.T) {
 
 	// Force a minimum above the bargain, as an irregular topology would.
 	minSlots := int(bargained) + 4
-	cell := runSuiteCell(sp.spec, mat, analytic, minSlots, LMAC, o)
+	cell := runSuiteCell(context.Background(), sp.spec, mat, analytic, minSlots, LMAC, o)
 	if cell.Err != "" {
 		t.Fatalf("raised cell failed: %s", cell.Err)
 	}
