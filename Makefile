@@ -12,7 +12,9 @@ BENCHTIME  ?= 1s
 GATE_BENCH ?= SimulatorEventRate|ServeOptimizeCached
 GATE_TOL   ?= 0.15
 
-.PHONY: build test race vet fmt bench bench-gate bench-baseline suite golden suite-golden check
+FUZZTIME ?= 30s
+
+.PHONY: build test race vet fmt fuzz bench bench-gate bench-baseline suite golden suite-golden check
 
 build:
 	$(GO) build ./...
@@ -31,6 +33,12 @@ fmt:
 	  echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 check: fmt vet build test
+
+# Fuzz the strict scenario parser (bump FUZZTIME for longer local
+# campaigns; CI runs the default as a smoke job). Crashers land in
+# internal/scenario/testdata/fuzz/ — commit them as regression inputs.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/scenario
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \

@@ -8,10 +8,15 @@
 // Usage:
 //
 //	edserve [-addr :8080] [-cache 256] [-result-cache 256] [-workers 0]
+//	        [-request-timeout 0] [-drain-timeout 15s]
 //
-// The server drains gracefully on SIGINT/SIGTERM: new connections stop,
-// in-flight requests get -drain-timeout to finish (their contexts are
-// cancelled when it expires).
+// A handler panic answers 500 and is counted in /healthz instead of
+// killing the process; -request-timeout (when positive) bounds every
+// request's context server-side. The server drains gracefully on
+// SIGINT/SIGTERM: new connections stop, in-flight requests get
+// -drain-timeout to finish, and when the grace period expires the
+// remaining connections are closed so a hung streaming consumer cannot
+// stall the exit forever.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,18 +37,24 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
 		fmt.Fprintln(os.Stderr, "edserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run serves until ctx is cancelled, then drains. ready (when non-nil)
+// receives the bound listen address once the socket is open — the hook
+// tests use to reach a server started on port 0.
+func run(ctx context.Context, args []string, ready func(addr string)) error {
 	fs := flag.NewFlagSet("edserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheSize := fs.Int("cache", edmac.DefaultCacheSize, "response cache entries")
 	resultCache := fs.Int("result-cache", edmac.DefaultCacheSize, "client-side analytic result cache entries")
 	workers := fs.Int("workers", 0, "worker pool size for sweeps, batches and suites (0: one per CPU)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline threaded into each request's context (0: none)")
 	drain := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown grace period")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,24 +67,28 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(serve.Options{Client: cli, CacheSize: *cacheSize, Logf: serve.DefaultLogf()})
+	srv, err := serve.New(serve.Options{Client: cli, CacheSize: *cacheSize, RequestTimeout: *reqTimeout, Logf: serve.DefaultLogf()})
 	if err != nil {
 		return err
 	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("edserve: listening on %s", *addr)
-		errCh <- httpSrv.ListenAndServe()
+		log.Printf("edserve: listening on %s", ln.Addr())
+		errCh <- httpSrv.Serve(ln)
 	}()
 
 	select {
@@ -85,8 +101,11 @@ func run(args []string) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		// The grace period expired: close remaining connections; their
-		// request contexts cancel, aborting in-flight work.
+		// The grace period expired — a hung request (a stream whose
+		// consumer stopped reading, say) is still holding its
+		// connection. Close the remaining connections; their request
+		// contexts cancel, aborting the in-flight work, and the exit
+		// stays bounded by the grace period.
 		httpSrv.Close()
 		return fmt.Errorf("shutdown: %w", err)
 	}

@@ -1,0 +1,84 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/edmac-project/edmac/internal/core"
+	"github.com/edmac-project/edmac/internal/topology"
+)
+
+// TestReplaySurvivors drives the degradation-aware hook directly: the
+// full-liveness bargain matches the static one, a degraded liveness
+// vector re-bargains on a shallower, sparser fragment, and an empty
+// fragment errors so the runtime can fall back to its last-good vector.
+func TestReplaySurvivors(t *testing.T) {
+	m := materialized(t, "ring-attrition")
+	req := core.Requirements{EnergyBudget: 0.06, MaxDelay: 3 + 1.2*float64(m.Network.Depth())}
+	reb, err := ReplaySurvivors(m, "xmac", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := m.Network.N()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	full, err := reb(alive, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 1 || full[0] <= 0 {
+		t.Fatalf("full-liveness vector %v", full)
+	}
+	// Full liveness replays the same game the static bridge plays.
+	static, err := replay("xmac", m, m.MeanRate(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full[0] != static.Bargain.Params[0] {
+		t.Errorf("full-liveness rebargain %v differs from the static bargain %v",
+			full, static.Bargain.Params)
+	}
+
+	// Kill the two outermost rings' worth of nodes: the fragment
+	// shrinks to ring 1 and the bargain moves.
+	for i := 1; i < n; i++ {
+		if m.Network.Ring(topology.NodeID(i)) > 1 {
+			alive[i] = false
+		}
+	}
+	degraded, err := reb(alive, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded[0] == full[0] {
+		t.Errorf("bargain did not move when the network collapsed to ring 1: %v", degraded)
+	}
+
+	// No survivors at all: the hook must error, not fabricate a vector.
+	for i := 1; i < n; i++ {
+		alive[i] = false
+	}
+	if _, err := reb(alive, 0, 200); err == nil {
+		t.Error("empty fragment produced a vector")
+	} else if !strings.Contains(err.Error(), "sink") {
+		t.Errorf("empty-fragment error %q does not mention the sink", err)
+	}
+}
+
+// TestReplaySurvivorsRejects pins the plan-time failure modes.
+func TestReplaySurvivorsRejects(t *testing.T) {
+	m := materialized(t, "ring-attrition")
+	req := core.Requirements{EnergyBudget: 0.06, MaxDelay: 6.6}
+	if _, err := ReplaySurvivors(nil, "xmac", req); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	if _, err := ReplaySurvivors(m, "no-such-mac", req); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := ReplaySurvivors(m, "xmac", core.Requirements{}); err == nil {
+		t.Error("zero requirements accepted")
+	}
+}

@@ -14,10 +14,13 @@ package scenario
 // ones at version 2, so their JSON is byte-identical across schema
 // extensions. The non-stationary scenarios carry a per-phase adaptation
 // default, committing the adaptive-vs-static comparison to the suite
-// golden; the trailing lossy scenarios declare version 3 and twin two
+// golden; the lossy scenarios declare version 3 and twin two
 // perfect-channel entries (ring-baseline, disk-meadow), so the golden
 // also commits how the bargain and the measured outcome move when the
-// same deployment's links degrade.
+// same deployment's links degrade. The trailing survivability
+// scenarios declare version 4 and twin the same two entries once more,
+// now under failure dynamics (churn, finite batteries) with on-death
+// re-bargaining, committing the degradation-aware-vs-static comparison.
 func Builtins() []Spec {
 	return []Spec{
 		{
@@ -171,6 +174,34 @@ func Builtins() []Spec {
 			Topology:    TopologySpec{Kind: "disk", Nodes: 36, Radius: 2.6},
 			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 150},
 			Channel:     &ChannelSpec{Model: "shadowing", PathLossExp: 3.2, SigmaDB: 4, EdgeMarginDB: 5, Capture: true},
+			Radio:       "cc1101",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: 4,
+			Name:        "ring-attrition",
+			Description: "The ring baseline under churn on finite batteries: relays crash and recover on exponential clocks while every node drains a small battery, and each liveness epoch re-plays the bargain over the survivors.",
+			Seed:        1,
+			Topology:    TopologySpec{Kind: "ring", Depth: 3, Density: 3},
+			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 120},
+			Failures:    &FailureSpec{Model: FailChurn, MTBF: 500, MTTR: 80},
+			Battery:     &BatterySpec{CapacityJ: 0.4},
+			Adaptation:  &AdaptationSpec{Mode: AdaptOnDeath},
+			Radio:       "cc2420",
+			Payload:     32,
+			Window:      60,
+		},
+		{
+			SpecVersion: 4,
+			Name:        "meadow-brownout",
+			Description: "The sparse meadow on finite batteries with sporadic crashes: nodes die at their depletion instants, and each death re-bargains the survivors toward a thriftier point.",
+			Seed:        7,
+			Topology:    TopologySpec{Kind: "disk", Nodes: 36, Radius: 2.6},
+			Traffic:     TrafficSpec{Kind: "periodic", Rate: 1.0 / 150},
+			Failures:    &FailureSpec{Model: FailChurn, MTBF: 600, MTTR: 120},
+			Battery:     &BatterySpec{CapacityJ: 0.35},
+			Adaptation:  &AdaptationSpec{Mode: AdaptOnDeath},
 			Radio:       "cc1101",
 			Payload:     32,
 			Window:      60,

@@ -21,13 +21,17 @@ import (
 )
 
 // Version is the newest spec schema version this package writes.
+// Version-4 specs add failure dynamics: an optional `failures` block
+// injects node churn (or an explicit crash schedule) and an optional
+// `battery` block gives every non-sink node a finite energy store, plus
+// the "on-death" adaptation mode for degradation-aware re-bargaining.
 // Version-3 specs add link realism: an optional `channel` block selects
 // a lossy link-quality model (bernoulli or log-normal shadowing) and
 // the capture effect. Version-2 specs add non-stationary workloads: a
 // `phases` array of consecutive traffic windows and an optional
-// `adaptation` block selecting how suites play them. Version-1 and -2
-// specs remain readable unchanged.
-const Version = 3
+// `adaptation` block selecting how suites play them. Version-1 through
+// -3 specs remain readable unchanged.
+const Version = 4
 
 // minVersion is the oldest spec schema version still accepted.
 const minVersion = 1
@@ -61,6 +65,12 @@ type Spec struct {
 	// Channel (version 3) selects the link-quality model; nil keeps the
 	// perfect unit-disk channel.
 	Channel *ChannelSpec `json:"channel,omitempty"`
+	// Failures (version 4) injects node crashes and recoveries; nil
+	// keeps every node alive.
+	Failures *FailureSpec `json:"failures,omitempty"`
+	// Battery (version 4) gives every non-sink node a finite energy
+	// store; nil means unlimited energy.
+	Battery *BatterySpec `json:"battery,omitempty"`
 	// Radio names the transceiver profile ("cc2420", "cc1101").
 	Radio string `json:"radio"`
 	// Payload is the application payload in bytes.
@@ -81,27 +91,117 @@ type PhaseSpec struct {
 
 // Adaptation modes: Static plays one bargain from the long-run mean
 // rate; PerPhase re-plays the bargain at every phase boundary from that
-// phase's own mean rates (the online re-bargaining runtime).
+// phase's own mean rates (the online re-bargaining runtime); OnDeath
+// (version 4) re-solves the bargain over the surviving topology at
+// every node-death or recovery epoch of a fault-injected scenario —
+// PerPhase on a fault-injected phased scenario implies the same
+// death-epoch behaviour.
 const (
 	AdaptStatic   = "static"
 	AdaptPerPhase = "per-phase"
+	AdaptOnDeath  = "on-death"
 )
 
 // AdaptationSpec selects how suites play a phased scenario.
 type AdaptationSpec struct {
-	// Mode is "static" or "per-phase".
+	// Mode is "static", "per-phase" or "on-death".
 	Mode string `json:"mode"`
 }
 
 // validAdaptation reports whether the block is usable.
 func (a *AdaptationSpec) valid() error {
 	switch a.Mode {
-	case AdaptStatic, AdaptPerPhase:
+	case AdaptStatic, AdaptPerPhase, AdaptOnDeath:
 		return nil
 	default:
-		return fmt.Errorf("scenario: unknown adaptation mode %q (want %q or %q)",
-			a.Mode, AdaptStatic, AdaptPerPhase)
+		return fmt.Errorf("scenario: unknown adaptation mode %q (want %q, %q or %q)",
+			a.Mode, AdaptStatic, AdaptPerPhase, AdaptOnDeath)
 	}
+}
+
+// Failure models: churn draws alternating exponential up/down times per
+// node from deterministic per-node streams; schedule replays explicit
+// crash events.
+const (
+	FailChurn    = "churn"
+	FailSchedule = "schedule"
+)
+
+// FailureSpec (version 4) declares a scenario's failure process. The
+// sink never fails.
+type FailureSpec struct {
+	// Model is "churn" or "schedule".
+	Model string `json:"model"`
+	// MTBF and MTTR parameterize "churn": mean up time and mean down
+	// time in seconds. MTTR 0 makes every crash permanent.
+	MTBF float64 `json:"mtbf,omitempty"`
+	MTTR float64 `json:"mttr,omitempty"`
+	// Events parameterize "schedule": the explicit crash list.
+	Events []FailureEventSpec `json:"events,omitempty"`
+}
+
+// FailureEventSpec is one explicit crash of a "schedule" failure model.
+type FailureEventSpec struct {
+	// Node is the crashing node index (never 0, the sink).
+	Node int `json:"node"`
+	// At is the crash instant in seconds.
+	At float64 `json:"at"`
+	// Duration is the outage length in seconds; 0 means permanent.
+	Duration float64 `json:"duration,omitempty"`
+}
+
+// valid reports whether the failure block is usable.
+func (f *FailureSpec) valid() error {
+	switch f.Model {
+	case FailChurn:
+		if len(f.Events) > 0 {
+			return fmt.Errorf("scenario: churn failures take no event list")
+		}
+		if f.MTBF <= 0 || math.IsNaN(f.MTBF) || math.IsInf(f.MTBF, 0) {
+			return fmt.Errorf("scenario: churn MTBF %v must be positive and finite", f.MTBF)
+		}
+		if f.MTTR < 0 || math.IsNaN(f.MTTR) || math.IsInf(f.MTTR, 0) {
+			return fmt.Errorf("scenario: churn MTTR %v must be non-negative and finite", f.MTTR)
+		}
+		return nil
+	case FailSchedule:
+		if len(f.Events) == 0 {
+			return fmt.Errorf("scenario: schedule failures need at least one event")
+		}
+		if f.MTBF != 0 || f.MTTR != 0 {
+			return fmt.Errorf("scenario: schedule failures take no MTBF/MTTR")
+		}
+		for i, ev := range f.Events {
+			if ev.Node <= 0 {
+				return fmt.Errorf("scenario: failure event %d: node %d must be positive (the sink cannot crash)", i, ev.Node)
+			}
+			if ev.At < 0 || math.IsNaN(ev.At) || math.IsInf(ev.At, 0) {
+				return fmt.Errorf("scenario: failure event %d: crash time %v must be non-negative and finite", i, ev.At)
+			}
+			if ev.Duration < 0 || math.IsNaN(ev.Duration) || math.IsInf(ev.Duration, 0) {
+				return fmt.Errorf("scenario: failure event %d: duration %v must be non-negative and finite", i, ev.Duration)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown failure model %q (want %q or %q)", f.Model, FailChurn, FailSchedule)
+	}
+}
+
+// BatterySpec (version 4) gives every non-sink node a finite energy
+// store; a node dies permanently when its consumption reaches the
+// capacity. The sink is mains-powered.
+type BatterySpec struct {
+	// CapacityJ is the per-node energy budget in joules.
+	CapacityJ float64 `json:"capacity_j"`
+}
+
+// valid reports whether the battery block is usable.
+func (b *BatterySpec) valid() error {
+	if b.CapacityJ <= 0 || math.IsNaN(b.CapacityJ) || math.IsInf(b.CapacityJ, 0) {
+		return fmt.Errorf("scenario: battery capacity %v J must be positive and finite", b.CapacityJ)
+	}
+	return nil
 }
 
 // ChannelSpec selects one link-quality model (version 3). Model decides
@@ -300,6 +400,19 @@ func (s Spec) Validate() error {
 	if s.SpecVersion < 3 && s.Channel != nil {
 		return fmt.Errorf("scenario %s: a channel block needs spec version 3 (got %d)", s.Name, s.SpecVersion)
 	}
+	if s.SpecVersion < 4 && (s.Failures != nil || s.Battery != nil) {
+		return fmt.Errorf("scenario %s: failures and battery blocks need spec version 4 (got %d)", s.Name, s.SpecVersion)
+	}
+	if s.Failures != nil {
+		if err := s.Failures.valid(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if s.Battery != nil {
+		if err := s.Battery.valid(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
 	if s.Channel != nil {
 		if _, err := s.Channel.model(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -315,12 +428,18 @@ func (s Spec) Validate() error {
 		if len(s.Phases) < 2 {
 			return fmt.Errorf("scenario %s: a phased workload needs at least 2 phases (one phase is just traffic)", s.Name)
 		}
-	} else if s.Adaptation != nil {
-		return fmt.Errorf("scenario %s: adaptation needs a phased workload", s.Name)
+	} else if s.Adaptation != nil && s.Failures == nil && s.Battery == nil {
+		return fmt.Errorf("scenario %s: adaptation needs a phased workload or failure dynamics", s.Name)
 	}
 	if s.Adaptation != nil {
 		if err := s.Adaptation.valid(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if s.Adaptation.Mode == AdaptOnDeath && s.Failures == nil && s.Battery == nil {
+			return fmt.Errorf("scenario %s: on-death adaptation needs a failures or battery block", s.Name)
+		}
+		if s.Adaptation.Mode == AdaptPerPhase && len(s.Phases) == 0 {
+			return fmt.Errorf("scenario %s: per-phase adaptation needs a phased workload", s.Name)
 		}
 	}
 	gen, err := s.Topology.Generator()
@@ -372,6 +491,19 @@ func (s Spec) ChannelKind() string {
 	}
 	return s.Channel.Model
 }
+
+// FailureKind returns the failure-model family the spec selects:
+// "none" when no failures block is present.
+func (s Spec) FailureKind() string {
+	if s.Failures == nil {
+		return "none"
+	}
+	return s.Failures.Model
+}
+
+// Faulty reports whether the scenario injects failure dynamics (churn,
+// an explicit crash schedule, or finite batteries).
+func (s Spec) Faulty() bool { return s.Failures != nil || s.Battery != nil }
 
 // CaptureConfig returns whether the simulator should enable the capture
 // effect for this scenario, and with which margin in dB (0 selects the

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -197,6 +198,87 @@ func TestPhasedSpec(t *testing.T) {
 	}
 	if _, err := Parse(data); err != nil {
 		t.Fatalf("version-1 spec no longer parses: %v", err)
+	}
+}
+
+// TestFaultSpec asserts the version-4 surface: the survivability twins
+// declare failure dynamics with on-death adaptation, their JSON
+// round-trips, pre-v4 JSON stays free of the new blocks, and the
+// version gate plus the fault-block validation rules reject bad specs.
+func TestFaultSpec(t *testing.T) {
+	churn, ok := ByName("ring-attrition")
+	if !ok {
+		t.Fatal("ring-churn missing from the registry")
+	}
+	if churn.FailureKind() != FailChurn || !churn.Faulty() {
+		t.Fatalf("FailureKind %q Faulty %v, want churn/true", churn.FailureKind(), churn.Faulty())
+	}
+	if churn.Adaptation == nil || churn.Adaptation.Mode != AdaptOnDeath {
+		t.Fatalf("adaptation %+v, want on-death", churn.Adaptation)
+	}
+	brown, ok := ByName("meadow-brownout")
+	if !ok {
+		t.Fatal("meadow-brownout missing from the registry")
+	}
+	if brown.Battery == nil || brown.Battery.CapacityJ <= 0 {
+		t.Fatalf("battery %+v, want a positive capacity", brown.Battery)
+	}
+
+	// Pre-v4 builtins must not leak the new blocks into their JSON.
+	for _, name := range []string{"ring-baseline", "meadow-stormcycle", "ring-lossy"} {
+		spec, _ := ByName(name)
+		data, err := spec.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(data), "failures") || strings.Contains(string(data), "battery") {
+			t.Errorf("%s: pre-v4 JSON gained version-4 fields", name)
+		}
+	}
+
+	head := `{"version":%s,"name":"x","topology":{"kind":"line","nodes":3,"spacing":0.5},"traffic":{"kind":"periodic","rate":0.1},`
+	tail := `"radio":"cc2420","payload":32,"window":60}`
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"failures in v3", fmt.Sprintf(head, "3") + `"failures":{"model":"churn","mtbf":500},` + tail, "version 4"},
+		{"battery in v3", fmt.Sprintf(head, "3") + `"battery":{"capacity_j":1},` + tail, "version 4"},
+		{"unknown failure model", fmt.Sprintf(head, "4") + `"failures":{"model":"meteor"},` + tail, "failure model"},
+		{"churn without mtbf", fmt.Sprintf(head, "4") + `"failures":{"model":"churn"},` + tail, "MTBF"},
+		{"churn with events", fmt.Sprintf(head, "4") + `"failures":{"model":"churn","mtbf":500,"events":[{"node":1,"at":10}]},` + tail, "no event list"},
+		{"schedule without events", fmt.Sprintf(head, "4") + `"failures":{"model":"schedule"},` + tail, "at least one event"},
+		{"schedule crashes sink", fmt.Sprintf(head, "4") + `"failures":{"model":"schedule","events":[{"node":0,"at":10}]},` + tail, "sink"},
+		{"negative crash time", fmt.Sprintf(head, "4") + `"failures":{"model":"schedule","events":[{"node":1,"at":-1}]},` + tail, "crash time"},
+		{"zero battery", fmt.Sprintf(head, "4") + `"battery":{"capacity_j":0},` + tail, "capacity"},
+		{"unknown failure field", fmt.Sprintf(head, "4") + `"failures":{"model":"churn","mtbf":500,"typo":1},` + tail, "typo"},
+		{"on-death without faults", fmt.Sprintf(head, "4") + `"adaptation":{"mode":"on-death"},` + tail, "failure dynamics"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse([]byte(tt.json))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+
+	// A valid v4 spec with a crash schedule parses and materializes.
+	good := fmt.Sprintf(head, "4") +
+		`"failures":{"model":"schedule","events":[{"node":1,"at":10,"duration":5}]},"battery":{"capacity_j":2},"adaptation":{"mode":"on-death"},` + tail
+	spec, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.FailureKind() != FailSchedule {
+		t.Errorf("FailureKind %q, want schedule", spec.FailureKind())
+	}
+	if _, err := spec.Materialize(); err != nil {
+		t.Fatal(err)
 	}
 }
 

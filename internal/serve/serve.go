@@ -17,7 +17,11 @@
 //
 // Every handler threads the request context into the client, so a
 // disconnected caller aborts its solve, simulation event loop or suite
-// worker-pool feed instead of burning the backend.
+// worker-pool feed instead of burning the backend. The root handler
+// also hardens the process: a panicking handler is recovered into a
+// 500 JSON error (counted, visible in /healthz), and an optional
+// per-request deadline bounds how long any one request may hold a
+// worker.
 package serve
 
 import (
@@ -27,7 +31,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	edmac "github.com/edmac-project/edmac"
@@ -47,6 +53,10 @@ type Options struct {
 	// CacheSize bounds the response cache (entries); values below 1
 	// select edmac.DefaultCacheSize.
 	CacheSize int
+	// RequestTimeout, when positive, bounds every request's context: a
+	// solve, simulation or suite that outlives it is cancelled and the
+	// request answered 503. Zero imposes no server-side deadline.
+	RequestTimeout time.Duration
 	// Logf, when set, receives one line per completed request.
 	Logf func(format string, args ...any)
 }
@@ -54,10 +64,16 @@ type Options struct {
 // Server is the HTTP service. Construct with New; the zero value is
 // invalid. Safe for concurrent use.
 type Server struct {
-	cli   *edmac.Client
-	cache *lru.Cache
-	mux   *http.ServeMux
-	logf  func(format string, args ...any)
+	cli     *edmac.Client
+	cache   *lru.Cache
+	mux     *http.ServeMux
+	logf    func(format string, args ...any)
+	timeout time.Duration
+
+	// panics counts handler panics absorbed by the recovery middleware —
+	// each one is a server bug that answered 500 instead of killing the
+	// process; /healthz exposes the count so operators notice.
+	panics atomic.Int64
 
 	// flights coalesces concurrent identical cache misses: the first
 	// request computes, the rest wait for its response bytes — N users
@@ -92,7 +108,7 @@ func New(o Options) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	s := &Server{cli: cli, cache: lru.New(size), mux: http.NewServeMux(), logf: logf, flights: map[string]*flight{}}
+	s := &Server{cli: cli, cache: lru.New(size), mux: http.NewServeMux(), logf: logf, timeout: o.RequestTimeout, flights: map[string]*flight{}}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
@@ -101,15 +117,46 @@ func New(o Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the service's root handler (logging included).
+// Handler returns the service's root handler: panic recovery, the
+// optional per-request deadline, and the request log.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		s.mux.ServeHTTP(sw, r)
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		func() {
+			// A handler panic is a server bug, not a reason to die: count
+			// it, log the stack, and answer 500 if the status line hasn't
+			// gone out yet (mid-stream there is nothing left to salvage —
+			// the connection just ends). http.ErrAbortHandler is the
+			// sanctioned abort sentinel and keeps its meaning.
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				s.panics.Add(1)
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError, errorBody{Error: "internal error"})
+				}
+			}()
+			s.mux.ServeHTTP(sw, r)
+		}()
 		s.logf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
 	})
 }
+
+// PanicsRecovered reports how many handler panics the root handler has
+// absorbed since the server was built.
+func (s *Server) PanicsRecovered() int64 { return s.panics.Load() }
 
 // CacheStats reports the response cache's lifetime counters — the
 // observable the smoke test (and operators) assert cache behaviour on.
@@ -118,15 +165,24 @@ func (s *Server) CacheStats() edmac.CacheStats {
 	return edmac.CacheStats{Hits: hits, Misses: misses, Entries: s.cache.Len()}
 }
 
-// statusWriter records the status code for the request log.
+// statusWriter records the status code for the request log and whether
+// anything reached the wire (the panic recovery can only substitute a
+// 500 while the response is still unwritten).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 // Flush forwards streaming flushes (NDJSON suite cells) to the
@@ -151,14 +207,19 @@ const statusClientClosedRequest = 499
 
 // writeError maps a client error onto the wire: infeasible games are
 // 422 (a well-formed request whose requirements cannot be met),
-// abandoned requests 499, everything else a 400 — handlers own no
-// state, so failures are request-induced.
+// abandoned requests 499, requests that outlived the server's own
+// deadline 503 (only the RequestTimeout middleware sets one — a
+// disconnecting client surfaces as Canceled, not DeadlineExceeded),
+// everything else a 400 — handlers own no state, so failures are
+// request-induced.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var tooBig *http.MaxBytesError
 	switch {
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.Canceled):
 		status = statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, edmac.ErrInfeasible):
 		status = http.StatusUnprocessableEntity
 	case errors.As(err, &tooBig):
@@ -288,10 +349,11 @@ func writeBody(w http.ResponseWriter, data []byte) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		Status        string           `json:"status"`
-		ResponseCache edmac.CacheStats `json:"response_cache"`
-		ResultCache   edmac.CacheStats `json:"result_cache"`
-	}{"ok", s.CacheStats(), s.cli.CacheStats()})
+		Status          string           `json:"status"`
+		ResponseCache   edmac.CacheStats `json:"response_cache"`
+		ResultCache     edmac.CacheStats `json:"result_cache"`
+		PanicsRecovered int64            `json:"panics_recovered"`
+	}{"ok", s.CacheStats(), s.cli.CacheStats(), s.PanicsRecovered()})
 }
 
 // scenarioInfo is one registry row of GET /v1/scenarios.
@@ -355,6 +417,16 @@ type wireSimReport struct {
 	P95Delay         *float64       `json:"p95_delay,omitempty"`
 	OuterRingDelay   *float64       `json:"outer_ring_delay,omitempty"`
 	BottleneckEnergy float64        `json:"bottleneck_energy"`
+	// Survivability block of fault-injected runs; all omitted on
+	// failure-free ones (see edmac.SimReport).
+	Deaths             int     `json:"deaths,omitempty"`
+	Recoveries         int     `json:"recoveries,omitempty"`
+	DeadAtEnd          int     `json:"dead_at_end,omitempty"`
+	StrandedPackets    int     `json:"stranded_packets,omitempty"`
+	DeadNodeFraction   float64 `json:"dead_node_fraction,omitempty"`
+	PartitionFraction  float64 `json:"partition_fraction,omitempty"`
+	Rebargains         int     `json:"rebargains,omitempty"`
+	DegradedRebargains int     `json:"degraded_rebargains,omitempty"`
 }
 
 func wireSimReportOf(rep edmac.SimReport) wireSimReport {
@@ -377,6 +449,15 @@ func wireSimReportOf(rep edmac.SimReport) wireSimReport {
 		P95Delay:         finiteOrNil(rep.P95Delay),
 		OuterRingDelay:   finiteOrNil(rep.OuterRingDelay),
 		BottleneckEnergy: rep.BottleneckEnergy,
+
+		Deaths:             rep.Deaths,
+		Recoveries:         rep.Recoveries,
+		DeadAtEnd:          rep.DeadAtEnd,
+		StrandedPackets:    rep.StrandedPackets,
+		DeadNodeFraction:   rep.DeadNodeFraction,
+		PartitionFraction:  rep.PartitionFraction,
+		Rebargains:         rep.Rebargains,
+		DegradedRebargains: rep.DegradedRebargains,
 	}
 }
 
@@ -486,6 +567,11 @@ func (s *Server) streamSuite(w http.ResponseWriter, r *http.Request, req edmac.S
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	// Push the status line out before the first cell computes: consumers
+	// learn the stream is live immediately, not minutes in.
+	if flusher != nil {
+		flusher.Flush()
+	}
 	err := s.cli.SuiteStream(r.Context(), req, func(cell edmac.SuiteCell) error {
 		if err := enc.Encode(cell); err != nil {
 			return err

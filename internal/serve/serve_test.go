@@ -363,6 +363,83 @@ func TestOversizedBodyIs413(t *testing.T) {
 	}
 }
 
+// TestPanicRecovery: a panicking handler answers a 500 JSON error and
+// bumps the counter; the process (and the server) keep serving.
+func TestPanicRecovery(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("injected handler bug")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatalf("GET /boom: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d (%s), want 500", resp.StatusCode, data)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Fatalf("panic response is not the JSON error shape: %s", data)
+	}
+	if got := s.PanicsRecovered(); got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+
+	// The server is still alive and /healthz exposes the count.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz after panic: %v", err)
+	}
+	var health struct {
+		Status          string `json:"status"`
+		PanicsRecovered int64  `json:"panics_recovered"`
+	}
+	err = json.NewDecoder(resp2.Body).Decode(&health)
+	resp2.Body.Close()
+	if err != nil || health.Status != "ok" || health.PanicsRecovered != 1 {
+		t.Fatalf("healthz after panic = %+v, err %v", health, err)
+	}
+}
+
+// TestRequestTimeout: a server-imposed per-request deadline cancels a
+// long simulation and answers 503 — distinguishable from the 499 a
+// disconnecting client gets.
+func TestRequestTimeout(t *testing.T) {
+	s, err := New(Options{RequestTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Minutes of simulated traffic if the deadline were ignored.
+	body := `{"protocol":"xmac","scenario":{"depth":5,"density":6,"sample_interval":120,"window":60,"payload":50,"radio":"cc2420"},"params":[0.125],"options":{"duration":1000000}}`
+	start := time.Now()
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", resp.StatusCode, data)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("timed-out request held the handler for %s", elapsed)
+	}
+	// Quick requests are untouched by the deadline.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/optimize",
+		`{"protocol":"xmac","requirements":{"energy_budget":0.06,"max_delay":6}}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("fast request under timeout: status %d (%s)", resp2.StatusCode, data2)
+	}
+}
+
 // TestInFlightAbortOnDisconnect is the acceptance gate for request
 // cancellation: a client that walks away mid-simulation must abort the
 // backend's event loop, not leave it running to completion. The

@@ -68,8 +68,15 @@ type Medium struct {
 	fades     int // receptions lost to the per-link delivery draw
 	captures  int // overlaps survived via the capture effect
 
-	txPool    []*transmission
-	framePool []*Frame
+	txPool     []*transmission
+	framePool  []*Frame
+	txMade     int // transmissions ever allocated (pool-leak accounting)
+	framesMade int // frames ever allocated (pool-leak accounting)
+
+	// fault is the fault-injection runtime of the run, nil on
+	// failure-free runs: the transceiver state machine notifies it of
+	// every radio-state change so battery-depletion instants stay exact.
+	fault *faultState
 
 	startTxCb func(any) // cached: schedule startTx without a new closure
 	endTxCb   func(any) // cached: schedule endTx without a new closure
@@ -172,6 +179,7 @@ func (m *Medium) newFrame() *Frame {
 		*f = Frame{}
 		return f
 	}
+	m.framesMade++
 	return &Frame{}
 }
 
@@ -194,6 +202,7 @@ func (m *Medium) newTransmission(f *Frame, from topology.NodeID, endAt Time) *tr
 		m.txPool = m.txPool[:n-1]
 	} else {
 		tx = &transmission{}
+		m.txMade++
 	}
 	tx.frame = f
 	tx.from = from
@@ -395,6 +404,7 @@ type Transceiver struct {
 
 	state    radio.State
 	since    Time
+	halted   bool       // node is dead: the meters are frozen
 	acc      [5]float64 // seconds per radio.State (1-indexed)
 	lock     *transmission
 	lockBad  bool
@@ -413,12 +423,21 @@ func (x *Transceiver) ID() topology.NodeID { return x.id }
 // State returns the current radio state.
 func (x *Transceiver) State() radio.State { return x.state }
 
-// setState accumulates elapsed time and switches state.
+// setState accumulates elapsed time and switches state. A halted
+// (dead) radio keeps ticking through states without metering — a
+// powered-off node draws nothing — and on fault-injected runs every
+// transition notifies the battery meter so depletion instants stay
+// exact. Failure-free runs take neither branch.
 func (x *Transceiver) setState(s radio.State) {
 	now := x.med.eng.Now()
-	x.acc[x.state] += now - x.since
+	if !x.halted {
+		x.acc[x.state] += now - x.since
+	}
 	x.since = now
 	x.state = s
+	if f := x.med.fault; f != nil {
+		f.onState(x)
+	}
 }
 
 // Sleep powers the radio down, aborting any reception in progress. It

@@ -132,6 +132,14 @@ func (n *node) pop() {
 // queueLen returns the number of queued packets.
 func (n *node) queueLen() int { return n.qlen }
 
+// clearQueue empties the forwarding queue — a crashed node's RAM is
+// gone. The caller accounts the loss (stranded packets) before calling.
+func (n *node) clearQueue() {
+	for n.qlen > 0 {
+		n.pop()
+	}
+}
+
 // accept handles a data frame addressed to this node: the sink records
 // the delivery, forwarders enqueue for the next hop. Each packet counts
 // once — a second copy arriving after a lost ACK made the sender retry

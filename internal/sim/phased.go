@@ -49,6 +49,9 @@ func RunPhasedContext(ctx context.Context, cfg Config, phases []PhaseConfig) (*R
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("sim: phased run needs at least one phase")
 	}
+	if cfg.faulty() {
+		return RunFaultyContext(ctx, cfg, phases, nil)
+	}
 	if cfg.Traffic == nil {
 		return nil, fmt.Errorf("sim: phased run needs a traffic model")
 	}

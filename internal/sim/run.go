@@ -49,6 +49,13 @@ type Config struct {
 	// CaptureDB is the capture power margin in dB; non-positive selects
 	// channel.DefaultCaptureDB. Ignored unless Capture is set.
 	CaptureDB float64
+	// Failures optionally injects node crashes and recoveries (explicit
+	// schedule or seeded churn). Runs with failures are executed by the
+	// fault runner; see RunFaulty.
+	Failures *FailureConfig
+	// Battery optionally gives every non-sink node a finite energy
+	// store; a node dies permanently when its residual hits zero.
+	Battery *BatteryConfig
 }
 
 // Validate reports whether the configuration is runnable.
@@ -94,7 +101,7 @@ func (c Config) Validate() error {
 	if c.Duration <= 0 {
 		return fmt.Errorf("sim: duration %v must be positive", c.Duration)
 	}
-	return nil
+	return c.validateFaults()
 }
 
 // Result carries the measured outcomes of a run.
@@ -120,6 +127,44 @@ type Result struct {
 	ListenTime []float64
 	// TxTime[i] is node i's transmit time in seconds.
 	TxTime []float64
+
+	// Survivability counters, all zero on failure-free runs.
+	//
+	// Deaths and Recoveries count liveness transitions (a battery death
+	// is a death that never recovers); DeadAtEnd is the body count at
+	// the horizon. StrandedPackets counts packets lost in dead relays'
+	// forwarding queues at the crash instants. DeadNodeSeconds is the
+	// time integral of the dead-node count; PartitionSeconds the time
+	// any alive node's tree path to the sink crossed a dead relay.
+	// Rebargains counts degradation-aware re-bargaining epochs and
+	// DegradedRebargains the subset that fell back to the last-good
+	// vector (infeasible or failed re-solves).
+	Deaths             int
+	Recoveries         int
+	DeadAtEnd          int
+	StrandedPackets    int
+	DeadNodeSeconds    float64
+	PartitionSeconds   float64
+	Rebargains         int
+	DegradedRebargains int
+}
+
+// DeadNodeFraction normalizes DeadNodeSeconds to the run: the mean
+// fraction of the (non-sink) population that was down.
+func (r *Result) DeadNodeFraction(n int) float64 {
+	if n <= 1 || r.Duration <= 0 {
+		return 0
+	}
+	return r.DeadNodeSeconds / (r.Duration * float64(n-1))
+}
+
+// PartitionFraction is the fraction of the run during which at least
+// one alive node was cut off from the sink by a dead relay.
+func (r *Result) PartitionFraction() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return r.PartitionSeconds / r.Duration
 }
 
 // DutyCycle returns the fraction of the run node id spent with the
@@ -163,6 +208,12 @@ func Run(cfg Config) (*Result, error) {
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.faulty() {
+		// Fault-injected runs need the epoch-swap machinery; the static
+		// (no re-bargaining) fault runner handles them. Failure-free runs
+		// never take this branch, keeping their event trace byte-stable.
+		return RunFaultyContext(ctx, cfg, nil, nil)
 	}
 	eng := NewEngine()
 	med := newMediumFor(eng, cfg)

@@ -350,6 +350,80 @@ func (net *Network) MeanLinkPRR() float64 {
 	return sum / float64(n)
 }
 
+// SurvivorStats summarizes the fragment of the network that can still
+// deliver traffic when some nodes are down: parents never re-route, so
+// an alive node reaches the sink exactly when every ancestor on its
+// routing path is alive. The stats are what a degradation-aware
+// re-bargain maps onto the analytic ring abstraction — Depth and
+// MeanDegree of the reachable fragment stand in for the full network's.
+type SurvivorStats struct {
+	// Reachable counts alive non-sink nodes whose whole routing path to
+	// the sink is alive.
+	Reachable int
+	// Cut counts alive non-sink nodes stranded behind a dead ancestor.
+	Cut int
+	// Dead counts dead non-sink nodes.
+	Dead int
+	// Depth is the maximum ring among reachable nodes (0 when none).
+	Depth int
+	// MeanDegree is the average degree of the subgraph induced by the
+	// sink and the reachable nodes (0 when nothing is reachable).
+	MeanDegree float64
+}
+
+// SurvivorStats computes the reachable-fragment statistics for a
+// liveness vector: alive[i] reports node i up. The sink's entry is
+// ignored — the sink is always up (the simulator never crashes it).
+// alive must have one entry per node.
+func (net *Network) SurvivorStats(alive []bool) SurvivorStats {
+	var st SurvivorStats
+	n := len(net.pos)
+	reach := make([]bool, n)
+	reach[0] = true
+	// Nodes in increasing ring order inherit reachability from their
+	// parent, which BFS ordering guarantees is already classified; a
+	// plain parent-chain walk per node would be quadratic on deep nets.
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return net.ring[order[a]] < net.ring[order[b]] })
+	for _, id := range order {
+		if id == 0 {
+			continue
+		}
+		if !alive[id] {
+			st.Dead++
+			continue
+		}
+		if reach[net.parent[id]] {
+			reach[id] = true
+			st.Reachable++
+			if net.ring[id] > st.Depth {
+				st.Depth = net.ring[id]
+			}
+		} else {
+			st.Cut++
+		}
+	}
+	if st.Reachable == 0 {
+		return st
+	}
+	deg := 0
+	for i, ids := range net.adj {
+		if !reach[i] {
+			continue
+		}
+		for _, j := range ids {
+			if reach[j] {
+				deg++
+			}
+		}
+	}
+	st.MeanDegree = float64(deg) / float64(st.Reachable+1)
+	return st
+}
+
 // MeanDegree returns the average node degree, an empirical estimate of
 // the density parameter C of the ring model.
 func (net *Network) MeanDegree() float64 {

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -189,6 +190,47 @@ func TestTwoHopNeighbors(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("TwoHopNeighbors(2) = %v, want %v", got, want)
 		}
+	}
+}
+
+// TestSurvivorStats pins the reachable-fragment semantics on a line,
+// where reachability is easy to see: parents never re-route, so a dead
+// relay strands everything behind it.
+func TestSurvivorStats(t *testing.T) {
+	net, err := Line(5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := make([]bool, net.N())
+	for i := range alive {
+		alive[i] = true
+	}
+	st := net.SurvivorStats(alive)
+	if st.Reachable != 5 || st.Cut != 0 || st.Dead != 0 || st.Depth != 5 {
+		t.Fatalf("all alive: %+v", st)
+	}
+	// A 6-node path has 5 edges: directed degree sum 10 over 6 nodes.
+	if want := 10.0 / 6; math.Abs(st.MeanDegree-want) > 1e-12 {
+		t.Errorf("MeanDegree = %v, want %v", st.MeanDegree, want)
+	}
+
+	// Kill node 2: node 1 still delivers, nodes 3..5 are stranded.
+	alive[2] = false
+	st = net.SurvivorStats(alive)
+	if st.Reachable != 1 || st.Cut != 3 || st.Dead != 1 || st.Depth != 1 {
+		t.Fatalf("relay dead: %+v", st)
+	}
+	if st.MeanDegree != 1 {
+		t.Errorf("MeanDegree = %v, want 1 for the sink–node-1 pair", st.MeanDegree)
+	}
+
+	// Kill everything: the empty fragment reports zeros.
+	for i := 1; i < len(alive); i++ {
+		alive[i] = false
+	}
+	st = net.SurvivorStats(alive)
+	if st.Reachable != 0 || st.Cut != 0 || st.Dead != 5 || st.Depth != 0 || st.MeanDegree != 0 {
+		t.Fatalf("all dead: %+v", st)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/edmac-project/edmac/internal/opt"
 	"github.com/edmac-project/edmac/internal/scenario"
 	"github.com/edmac-project/edmac/internal/sim"
+	"github.com/edmac-project/edmac/internal/topology"
 )
 
 // ScenarioSpec is a declarative deployment description: a named network
@@ -86,6 +87,15 @@ func (sp ScenarioSpec) Phased() bool { return len(sp.spec.Phases) > 0 }
 // ChannelKind returns the link-quality family ("perfect", "bernoulli",
 // "shadowing"); scenarios without a channel block are "perfect".
 func (sp ScenarioSpec) ChannelKind() string { return sp.spec.ChannelKind() }
+
+// FailureKind returns the failure-process family ("churn", "schedule");
+// scenarios without a failures block are "none".
+func (sp ScenarioSpec) FailureKind() string { return sp.spec.FailureKind() }
+
+// Faulty reports whether the scenario injects failure dynamics — node
+// churn, an explicit crash schedule, or finite batteries (version 4).
+// Faulty scenarios' simulation reports carry the survivability block.
+func (sp ScenarioSpec) Faulty() bool { return sp.spec.Faulty() }
 
 // JSON returns the spec in its canonical indented JSON encoding.
 func (sp ScenarioSpec) JSON() ([]byte, error) { return sp.spec.JSON() }
@@ -202,9 +212,34 @@ func simulateScenario(ctx context.Context, p Protocol, sp ScenarioSpec, params [
 		Capture:   capture,
 		CaptureDB: captureDB,
 	}
+	cfg.Failures, cfg.Battery = faultConfigOf(sp.spec)
 	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		return SimReport{}, err
 	}
 	return simReportOf(p, params, cfg.Seed, m.Network.Depth(), sp.spec.Window, m.Network, res), nil
+}
+
+// faultConfigOf maps a spec's version-4 failure blocks onto the
+// simulator's fault configuration — the one place the two vocabularies
+// meet, shared by the direct simulation path and the suite runner.
+// Failure-free specs map to (nil, nil), which keeps the simulator on
+// its draw-free fixed-topology path.
+func faultConfigOf(s scenario.Spec) (*sim.FailureConfig, *sim.BatteryConfig) {
+	var fc *sim.FailureConfig
+	var bc *sim.BatteryConfig
+	if f := s.Failures; f != nil {
+		fc = &sim.FailureConfig{MTBF: f.MTBF, MTTR: f.MTTR}
+		for _, ev := range f.Events {
+			fc.Events = append(fc.Events, sim.FailureEvent{
+				Node:     topology.NodeID(ev.Node),
+				At:       ev.At,
+				Duration: ev.Duration,
+			})
+		}
+	}
+	if b := s.Battery; b != nil {
+		bc = &sim.BatteryConfig{Capacity: b.CapacityJ}
+	}
+	return fc, bc
 }

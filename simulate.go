@@ -74,6 +74,27 @@ type SimReport struct {
 	// BottleneckEnergy is the mean measured energy per accounting window
 	// of ring-1 nodes, in joules — comparable to Result energies.
 	BottleneckEnergy float64 `json:"bottleneck_energy"`
+
+	// Survivability block — populated only by fault-injected runs
+	// (version-4 scenarios with failures or battery blocks) and omitted
+	// everywhere else, so failure-free reports are byte-identical to
+	// earlier releases. Deaths counts node-down transitions (crashes and
+	// battery depletions), Recoveries the come-backs, DeadAtEnd the
+	// nodes down at the horizon. StrandedPackets counts queued packets a
+	// dying node lost. DeadNodeFraction is the dead-node integral over
+	// (non-sink nodes × duration); PartitionFraction the fraction of the
+	// run some alive node had no live route to the sink. Rebargains
+	// counts degradation-aware re-bargains consulted at liveness epochs;
+	// DegradedRebargains the ones that failed and fell back to the
+	// last-good vector.
+	Deaths             int     `json:"deaths,omitempty"`
+	Recoveries         int     `json:"recoveries,omitempty"`
+	DeadAtEnd          int     `json:"dead_at_end,omitempty"`
+	StrandedPackets    int     `json:"stranded_packets,omitempty"`
+	DeadNodeFraction   float64 `json:"dead_node_fraction,omitempty"`
+	PartitionFraction  float64 `json:"partition_fraction,omitempty"`
+	Rebargains         int     `json:"rebargains,omitempty"`
+	DegradedRebargains int     `json:"degraded_rebargains,omitempty"`
 }
 
 // Simulate replays a protocol configuration at packet level on the
@@ -145,7 +166,7 @@ func prepareSim(p Protocol, s Scenario, params []float64, o SimOptions) (sim.Con
 // outer is the ring whose packets define the reference delay, window the
 // energy-accounting window in seconds.
 func simReportOf(p Protocol, params []float64, seed int64, outer int, window float64, net *topology.Network, res *sim.Result) SimReport {
-	return SimReport{
+	rep := SimReport{
 		Protocol:      p,
 		Params:        append([]float64(nil), params...),
 		Seed:          seed,
@@ -169,6 +190,17 @@ func simReportOf(p Protocol, params []float64, seed int64, outer int, window flo
 		}),
 		BottleneckEnergy: res.MeanRingEnergyPerWindow(net, 1, window),
 	}
+	// Survivability counters are all zero on failure-free runs and the
+	// fields then omit from JSON, keeping legacy reports byte-stable.
+	rep.Deaths = res.Deaths
+	rep.Recoveries = res.Recoveries
+	rep.DeadAtEnd = res.DeadAtEnd
+	rep.StrandedPackets = res.StrandedPackets
+	rep.DeadNodeFraction = res.DeadNodeFraction(net.N())
+	rep.PartitionFraction = res.PartitionFraction()
+	rep.Rebargains = res.Rebargains
+	rep.DegradedRebargains = res.DegradedRebargains
+	return rep
 }
 
 // ValidationReport contrasts the analytic model with the simulator at

@@ -40,10 +40,12 @@ type SuiteOptions struct {
 	// scales with each scenario's depth (3 + 1.2·D), since a bound fit
 	// for a 3-hop ring is unreachable for a 24-hop tunnel.
 	MaxDelay float64 `json:"max_delay,omitempty"`
-	// Adaptive forces per-phase re-bargaining on every phased
-	// (version-2) scenario, whatever its adaptation block says. Phased
-	// scenarios whose spec declares mode "per-phase" adapt even when
-	// this is false; stationary scenarios are never affected.
+	// Adaptive forces re-bargaining on every scenario with something to
+	// adapt to, whatever its adaptation block says: per-phase vectors on
+	// phased (version-2) scenarios and degradation-aware re-bargains on
+	// faulty (version-4) ones. Scenarios whose spec declares a mode
+	// ("per-phase", "on-death") adapt even when this is false;
+	// stationary failure-free scenarios are never affected.
 	Adaptive bool `json:"adaptive,omitempty"`
 }
 
@@ -68,6 +70,11 @@ type SuiteScenario struct {
 	// MeanLinkPRR is the network's average link reception ratio; omitted
 	// (0) for perfect channels.
 	MeanLinkPRR float64 `json:"mean_link_prr,omitempty"`
+	// Failures is the failure-process family ("churn", "schedule") and
+	// BatteryJ the per-node battery capacity in joules; both omitted for
+	// failure-free scenarios, so legacy rows stay byte-stable.
+	Failures string  `json:"failures,omitempty"`
+	BatteryJ float64 `json:"battery_j,omitempty"`
 }
 
 // SuiteAnalytic is the game-theoretic side of a suite cell: the Nash
@@ -102,6 +109,17 @@ type SuiteSim struct {
 	P95Delay         *float64 `json:"p95_delay,omitempty"`
 	OuterRingDelay   *float64 `json:"outer_ring_delay,omitempty"`
 	BottleneckEnergy float64  `json:"bottleneck_energy"`
+	// Survivability columns (see SimReport's survivability block); all
+	// zero — and omitted — on failure-free cells, so legacy suite rows
+	// stay byte-stable.
+	Deaths             int     `json:"deaths,omitempty"`
+	Recoveries         int     `json:"recoveries,omitempty"`
+	DeadAtEnd          int     `json:"dead_at_end,omitempty"`
+	StrandedPackets    int     `json:"stranded_packets,omitempty"`
+	DeadNodeFraction   float64 `json:"dead_node_fraction,omitempty"`
+	PartitionFraction  float64 `json:"partition_fraction,omitempty"`
+	Rebargains         int     `json:"rebargains,omitempty"`
+	DegradedRebargains int     `json:"degraded_rebargains,omitempty"`
 }
 
 // SuitePhase is one epoch of an adaptive cell: the phase's span, the
@@ -290,6 +308,12 @@ func (c *Client) runSuite(ctx context.Context, req SuiteRequest, onCell func(Sui
 			row.Channel = ms.spec.ChannelKind()
 			row.MeanLinkPRR = ms.mat.Network.MeanLinkPRR()
 		}
+		if ms.spec.Failures != nil {
+			row.Failures = ms.spec.Failures.Model
+		}
+		if ms.spec.Battery != nil {
+			row.BatteryJ = ms.spec.Battery.CapacityJ
+		}
 		report.Scenarios[i] = row
 	}
 
@@ -366,10 +390,19 @@ func runSuiteCell(ctx context.Context, spec scenario.Spec, mat *scenario.Materia
 		Degenerate:     res.Degenerate,
 		BudgetExceeded: res.BudgetExceeded,
 	}
-	adaptive := len(spec.Phases) > 0 &&
+	// Two adaptation dimensions: per-phase re-bargaining follows the
+	// workload's declared phases, on-death re-bargaining follows the
+	// network's liveness. A spec opts into each through its adaptation
+	// mode; o.Adaptive forces every dimension a scenario can express.
+	phasedAdaptive := len(spec.Phases) > 0 &&
 		(o.Adaptive || (spec.Adaptation != nil && spec.Adaptation.Mode == scenario.AdaptPerPhase))
+	deathAdaptive := spec.Faulty() &&
+		(o.Adaptive || (spec.Adaptation != nil && spec.Adaptation.Mode == scenario.AdaptOnDeath))
+	adaptive := phasedAdaptive || deathAdaptive
 	if adaptive {
 		cell.Adaptive = true
+	}
+	if phasedAdaptive {
 		cell.Phases = suitePhases(spec, mat, p, req, o.Duration, minSlots)
 	}
 	if p == SCPMAC {
@@ -395,6 +428,7 @@ func runSuiteCell(ctx context.Context, spec scenario.Spec, mat *scenario.Materia
 		Capture:   capture,
 		CaptureDB: captureDB,
 	}
+	cfg.Failures, cfg.Battery = faultConfigOf(spec)
 	simRes, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		cell.Err = err.Error()
@@ -406,24 +440,63 @@ func runSuiteCell(ctx context.Context, spec scenario.Spec, mat *scenario.Materia
 		return cell
 	}
 	// Adaptive runtime: deploy each phase's re-bargained vector at its
-	// boundary, on the same network, traffic and seed the static
-	// baseline ran, so the two sims differ in parameters only.
+	// boundary (and, on faulty scenarios, re-bargain over the survivors
+	// at every liveness epoch), on the same network, traffic and seed
+	// the static baseline ran, so the two sims differ in parameters
+	// only.
 	cell.StaticSim = static
-	phases := make([]sim.PhaseConfig, len(cell.Phases))
-	for i, ph := range cell.Phases {
-		if ph.Err != "" {
-			cell.Err = fmt.Sprintf("adaptive phase %d: %s", i, ph.Err)
-			return cell
+	var phases []sim.PhaseConfig
+	if phasedAdaptive {
+		phases = make([]sim.PhaseConfig, len(cell.Phases))
+		for i, ph := range cell.Phases {
+			if ph.Err != "" {
+				cell.Err = fmt.Sprintf("adaptive phase %d: %s", i, ph.Err)
+				return cell
+			}
+			phases[i] = sim.PhaseConfig{Params: opt.Vector(ph.Params), Until: ph.End}
 		}
-		phases[i] = sim.PhaseConfig{Params: opt.Vector(ph.Params), Until: ph.End}
 	}
-	adaptRes, err := sim.RunPhasedContext(ctx, cfg, phases)
+	var adaptRes *sim.Result
+	if spec.Faulty() {
+		var reb sim.Rebargainer
+		if deathAdaptive {
+			reb, err = survivorRebargainer(mat, p, req, minSlots)
+			if err != nil {
+				cell.Err = err.Error()
+				return cell
+			}
+		}
+		adaptRes, err = sim.RunFaultyContext(ctx, cfg, phases, reb)
+	} else {
+		adaptRes, err = sim.RunPhasedContext(ctx, cfg, phases)
+	}
 	if err != nil {
 		cell.Err = err.Error()
 		return cell
 	}
 	cell.Sim = suiteSimOf(simReportOf(p, params, cfg.Seed, mat.Network.Depth(), spec.Window, mat.Network, adaptRes))
 	return cell
+}
+
+// survivorRebargainer builds the degradation-aware hook a faulty
+// adaptive cell hands the fault runner: adapt.ReplaySurvivors re-plays
+// the bargain over the alive-reachable fragment, and the suite applies
+// the same effective-vector convention (LMAC slot raising) it applies
+// to every vector it deploys.
+func survivorRebargainer(mat *scenario.Materialized, p Protocol, req Requirements, minSlots int) (sim.Rebargainer, error) {
+	hook, err := adapt.ReplaySurvivors(mat, string(p),
+		core.Requirements{EnergyBudget: req.EnergyBudget, MaxDelay: req.MaxDelay})
+	if err != nil {
+		return nil, err
+	}
+	return func(alive []bool, phase int, at float64) (opt.Vector, error) {
+		v, err := hook(alive, phase, at)
+		if err != nil {
+			return nil, err
+		}
+		ev, _ := effectiveParams(p, v, minSlots)
+		return opt.Vector(ev), nil
+	}, nil
 }
 
 // suitePhases re-plays the bargain per phase via the adaptation
@@ -510,6 +583,15 @@ func suiteSimOf(rep SimReport) *SuiteSim {
 		P95Delay:         finiteOrNil(rep.P95Delay),
 		OuterRingDelay:   finiteOrNil(rep.OuterRingDelay),
 		BottleneckEnergy: rep.BottleneckEnergy,
+
+		Deaths:             rep.Deaths,
+		Recoveries:         rep.Recoveries,
+		DeadAtEnd:          rep.DeadAtEnd,
+		StrandedPackets:    rep.StrandedPackets,
+		DeadNodeFraction:   rep.DeadNodeFraction,
+		PartitionFraction:  rep.PartitionFraction,
+		Rebargains:         rep.Rebargains,
+		DegradedRebargains: rep.DegradedRebargains,
 	}
 }
 
