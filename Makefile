@@ -7,9 +7,9 @@
 # whenever a PR intentionally moves the needle).
 
 GO         ?= go
-BENCH      ?= Figure|Frontier|Sweep|SimValidation|SimulatorEventRate|SimulateBatch|ServeOptimizeCached
+BENCH      ?= Figure|Frontier|Sweep|SimValidation|SimulatorEventRate|SimulateBatch|ServeOptimizeCached|JobsSubmitPoll
 BENCHTIME  ?= 1s
-GATE_BENCH ?= SimulatorEventRate|ServeOptimizeCached
+GATE_BENCH ?= SimulatorEventRate|ServeOptimizeCached|JobsSubmitPoll
 GATE_TOL   ?= 0.15
 
 FUZZTIME ?= 30s

@@ -8,6 +8,7 @@ package edmac_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -20,6 +21,7 @@ func BenchmarkServeOptimizeCached(b *testing.B) {
 	if err != nil {
 		b.Fatalf("New: %v", err)
 	}
+	defer s.Close()
 	h := s.Handler()
 	body := []byte(`{"protocol":"xmac","requirements":{"energy_budget":0.06,"max_delay":6}}`)
 	do := func() *httptest.ResponseRecorder {
@@ -42,6 +44,59 @@ func BenchmarkServeOptimizeCached(b *testing.B) {
 		}
 		if rec.Header().Get("X-Cache") != "HIT" {
 			b.Fatal("request missed the cache")
+		}
+	}
+}
+
+// BenchmarkJobsSubmitPoll measures the async tier's control-plane
+// overhead: submit → status → result for a request whose bytes are
+// already in the response cache, so the job is born done and every
+// iteration is exactly three HTTP round-trips with no solver time and
+// no poll-count variance — deterministic enough for the alloc gate.
+func BenchmarkJobsSubmitPoll(b *testing.B) {
+	s, err := serve.New(serve.Options{})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	h := s.Handler()
+	body := []byte(`{"protocol":"xmac","requirements":{"energy_budget":0.06,"max_delay":6}}`)
+	do := func(method, path string, payload []byte) *httptest.ResponseRecorder {
+		var req *http.Request
+		if payload != nil {
+			req = httptest.NewRequest(method, path, bytes.NewReader(payload))
+			req.Header.Set("Content-Type", "application/json")
+		} else {
+			req = httptest.NewRequest(method, path, nil)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	// Warm the response cache so each submission short-circuits.
+	if rec := do(http.MethodPost, "/v1/optimize", body); rec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", rec.Code, rec.Body)
+	}
+	submit := []byte(`{"optimize":{"protocol":"xmac","requirements":{"energy_budget":0.06,"max_delay":6}}}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := do(http.MethodPost, "/v1/jobs", submit)
+		if rec.Code != http.StatusAccepted {
+			b.Fatalf("submit status %d: %s", rec.Code, rec.Body)
+		}
+		var st struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || st.ID == "" {
+			b.Fatalf("submit body: %s", rec.Body)
+		}
+		if rec := do(http.MethodGet, "/v1/jobs/"+st.ID, nil); rec.Code != http.StatusOK {
+			b.Fatalf("status poll: %d", rec.Code)
+		}
+		if rec := do(http.MethodGet, "/v1/jobs/"+st.ID+"/result", nil); rec.Code != http.StatusOK {
+			b.Fatalf("result fetch: %d", rec.Code)
 		}
 	}
 }

@@ -1,0 +1,385 @@
+// Command edload is a closed-loop load generator for edserve: a fixed
+// pool of workers, each issuing one request after another against a
+// live server, for a fixed duration — the standard way to measure a
+// serving tier's throughput and latency tails without coordinated
+// omission from an open-loop arrival process.
+//
+// Usage:
+//
+//	edload [-url http://localhost:8080] [-c 8] [-d 10s]
+//	       [-mix optimize=4,simulate=1,suite=0,jobs=1]
+//	       [-distinct 8] [-tenant edload]
+//
+// The mix weights pick the operation each request slot runs:
+//
+//	optimize  POST /v1/optimize (analytic game, cache-friendly)
+//	simulate  POST /v1/simulate (short packet-level replay)
+//	suite     POST /v1/suite (small matrix, the heavy synchronous op)
+//	jobs      POST /v1/jobs + poll + fetch (the async tier end to end)
+//
+// -distinct rotates each operation through that many request variants,
+// controlling how much of the load the response cache can absorb
+// (1 = everything identical, fully cacheable). The report prints, per
+// operation and overall, the completed count, error count, throughput
+// and the p50/p95/p99 latency percentiles — the numbers that show the
+// sync-vs-jobs difference the async tier exists for.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edload:", err)
+		os.Exit(1)
+	}
+}
+
+// op names one request kind of the mix.
+type op string
+
+const (
+	opOptimize op = "optimize"
+	opSimulate op = "simulate"
+	opSuite    op = "suite"
+	opJobs     op = "jobs"
+)
+
+// sample is one completed request slot.
+type sample struct {
+	op      op
+	latency time.Duration
+	err     bool
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("edload", flag.ContinueOnError)
+	baseURL := fs.String("url", "http://localhost:8080", "edserve base URL")
+	conc := fs.Int("c", 8, "concurrent closed-loop workers")
+	dur := fs.Duration("d", 10*time.Second, "measurement duration")
+	mixSpec := fs.String("mix", "optimize=4,simulate=1,suite=0,jobs=1", "request mix weights")
+	distinct := fs.Int("distinct", 8, "distinct request variants per operation (1: fully cacheable)")
+	tenant := fs.String("tenant", "edload", "X-Tenant header on job submissions")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request client timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *conc < 1 || *distinct < 1 || *dur <= 0 {
+		return fmt.Errorf("need -c >= 1, -distinct >= 1 and -d > 0")
+	}
+	schedule, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+
+	cli := &http.Client{Timeout: *timeout}
+	g := &generator{
+		base: strings.TrimRight(*baseURL, "/"), cli: cli,
+		distinct: *distinct, tenant: *tenant,
+	}
+	// One quick probe so a wrong URL fails loudly, not as a wall of
+	// per-request errors.
+	if err := g.probe(ctx); err != nil {
+		return err
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, *dur)
+	defer cancel()
+	var (
+		slot    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []sample
+	)
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []sample
+			for runCtx.Err() == nil {
+				i := slot.Add(1) - 1
+				o := schedule[i%int64(len(schedule))]
+				t0 := time.Now()
+				err := g.do(runCtx, o, i)
+				lat := time.Since(t0)
+				if runCtx.Err() != nil && err != nil {
+					// The deadline tore the request down mid-flight; an
+					// aborted slot is not a measurement.
+					break
+				}
+				local = append(local, sample{op: o, latency: lat, err: err != nil})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if ctx.Err() != nil && len(samples) == 0 {
+		return ctx.Err()
+	}
+	report(out, samples, elapsed, *conc)
+	return nil
+}
+
+// parseMix expands "optimize=4,jobs=1" into a deterministic round-robin
+// schedule with the requested weights.
+func parseMix(spec string) ([]op, error) {
+	weights := map[op]int{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		switch o := op(name); o {
+		case opOptimize, opSimulate, opSuite, opJobs:
+			weights[o] = w
+		default:
+			return nil, fmt.Errorf("mix entry %q: unknown operation (want optimize, simulate, suite or jobs)", part)
+		}
+	}
+	// Interleave round-robin rather than blocking by kind, so every
+	// window of the run sees the same blend.
+	var schedule []op
+	for {
+		progress := false
+		for _, o := range []op{opOptimize, opSimulate, opSuite, opJobs} {
+			if weights[o] > 0 {
+				weights[o]--
+				schedule = append(schedule, o)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("mix %q selects no operations", spec)
+	}
+	return schedule, nil
+}
+
+// generator issues the individual requests.
+type generator struct {
+	base     string
+	cli      *http.Client
+	distinct int
+	tenant   string
+}
+
+func (g *generator) probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.cli.Do(req)
+	if err != nil {
+		return fmt.Errorf("probing %s: %w", g.base, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("probing %s: /healthz answered %d", g.base, resp.StatusCode)
+	}
+	return nil
+}
+
+// variant derives the slot's request variant in [0, distinct).
+func (g *generator) variant(i int64) int64 { return i % int64(g.distinct) }
+
+func (g *generator) do(ctx context.Context, o op, i int64) error {
+	v := g.variant(i)
+	switch o {
+	case opOptimize:
+		// Vary the delay bound across variants; every value is feasible
+		// for XMAC under the default scenario.
+		body := fmt.Sprintf(`{"protocol":"xmac","requirements":{"energy_budget":0.06,"max_delay":%g}}`, 6.0+float64(v)*0.25)
+		return g.post(ctx, "/v1/optimize", body, http.StatusOK)
+	case opSimulate:
+		body := fmt.Sprintf(`{"protocol":"xmac","scenario_name":"ring-baseline","params":[0.25],"options":{"duration":30,"seed":%d}}`, v+1)
+		return g.post(ctx, "/v1/simulate", body, http.StatusOK)
+	case opSuite:
+		body := fmt.Sprintf(`{"scenarios":["ring-baseline"],"protocols":["xmac"],"options":{"duration":40,"seed":%d}}`, v+1)
+		return g.post(ctx, "/v1/suite", body, http.StatusOK)
+	case opJobs:
+		return g.job(ctx, v)
+	}
+	return fmt.Errorf("unknown op %q", o)
+}
+
+func (g *generator) post(ctx context.Context, path, body string, want int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.base+path, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.cli.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s: status %d, want %d", path, resp.StatusCode, want)
+	}
+	return nil
+}
+
+// job runs the async tier end to end: submit, poll to terminal, fetch.
+func (g *generator) job(ctx context.Context, v int64) error {
+	body := fmt.Sprintf(`{"suite":{"scenarios":["ring-baseline"],"protocols":["xmac"],"options":{"duration":40,"seed":%d}}}`, v+1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", g.tenant)
+	resp, err := g.cli.Do(req)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("/v1/jobs: status %d: %s", resp.StatusCode, data)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+		return fmt.Errorf("/v1/jobs: unusable submit body %s", data)
+	}
+	for st.State != "done" && st.State != "failed" && st.State != "cancelled" {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+		sreq, err := http.NewRequestWithContext(ctx, http.MethodGet, g.base+"/v1/jobs/"+st.ID, nil)
+		if err != nil {
+			return err
+		}
+		sresp, err := g.cli.Do(sreq)
+		if err != nil {
+			return err
+		}
+		sdata, err := io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if sresp.StatusCode != http.StatusOK {
+			return fmt.Errorf("job status: %d: %s", sresp.StatusCode, sdata)
+		}
+		if err := json.Unmarshal(sdata, &st); err != nil {
+			return err
+		}
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job ended %s", st.State)
+	}
+	rreq, err := http.NewRequestWithContext(ctx, http.MethodGet, g.base+"/v1/jobs/"+st.ID+"/result", nil)
+	if err != nil {
+		return err
+	}
+	rresp, err := g.cli.Do(rreq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("job result: status %d", rresp.StatusCode)
+	}
+	return nil
+}
+
+// report prints the throughput/latency table.
+func report(out io.Writer, samples []sample, elapsed time.Duration, conc int) {
+	byOp := map[op][]sample{}
+	for _, s := range samples {
+		byOp[s.op] = append(byOp[s.op], s)
+	}
+	fmt.Fprintf(out, "edload: %d workers, %s elapsed, %d requests (%.1f req/s)\n",
+		conc, elapsed.Round(time.Millisecond), len(samples), float64(len(samples))/elapsed.Seconds())
+	fmt.Fprintf(out, "%-10s %8s %6s %10s %10s %10s %10s\n", "op", "count", "errs", "req/s", "p50", "p95", "p99")
+	rows := append(make([]op, 0, 5), opOptimize, opSimulate, opSuite, opJobs)
+	for _, o := range rows {
+		ss := byOp[o]
+		if len(ss) == 0 {
+			continue
+		}
+		printRow(out, string(o), ss, elapsed)
+	}
+	printRow(out, "overall", samples, elapsed)
+}
+
+func printRow(out io.Writer, name string, ss []sample, elapsed time.Duration) {
+	lats := make([]time.Duration, 0, len(ss))
+	errs := 0
+	for _, s := range ss {
+		if s.err {
+			errs++
+			continue
+		}
+		lats = append(lats, s.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Fprintf(out, "%-10s %8d %6d %10.1f %10s %10s %10s\n",
+		name, len(ss), errs, float64(len(ss))/elapsed.Seconds(),
+		fmtLat(percentile(lats, 0.50)), fmtLat(percentile(lats, 0.95)), fmtLat(percentile(lats, 0.99)))
+}
+
+// percentile is the nearest-rank percentile of a sorted series.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func fmtLat(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(10 * time.Microsecond).String()
+}

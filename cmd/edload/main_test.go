@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/edmac-project/edmac/internal/serve"
+)
+
+func TestBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown flag": {"-nope"},
+		"bad mix op":   {"-mix", "teleport=1"},
+		"bad weight":   {"-mix", "optimize=x"},
+		"empty mix":    {"-mix", "optimize=0"},
+		"zero workers": {"-c", "0"},
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s: run accepted %v", name, args)
+		}
+	}
+}
+
+func TestParseMixInterleaves(t *testing.T) {
+	sched, err := parseMix("optimize=2,jobs=1")
+	if err != nil {
+		t.Fatalf("parseMix: %v", err)
+	}
+	want := []op{opOptimize, opJobs, opOptimize}
+	if len(sched) != len(want) {
+		t.Fatalf("schedule = %v, want %v", sched, want)
+	}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Fatalf("schedule = %v, want %v", sched, want)
+		}
+	}
+}
+
+// TestClosedLoopAgainstLiveServer drives a short mixed run against an
+// in-process edserve and checks the report: every operation present,
+// zero errors, a sane throughput line.
+func TestClosedLoopAgainstLiveServer(t *testing.T) {
+	s, err := serve.New(serve.Options{})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	var out bytes.Buffer
+	err = run(context.Background(), []string{
+		"-url", ts.URL, "-c", "4", "-d", "2s",
+		"-mix", "optimize=4,simulate=1,suite=1,jobs=1", "-distinct", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	rep := out.String()
+	for _, want := range []string{"edload:", "optimize", "simulate", "suite", "jobs", "overall", "p50", "p99"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	for _, line := range strings.Split(rep, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 7 && fields[0] != "op" && fields[2] != "0" {
+			t.Fatalf("operation %s reported %s errors:\n%s", fields[0], fields[2], rep)
+		}
+	}
+}
+
+func TestProbeFailsFast(t *testing.T) {
+	start := time.Now()
+	err := run(context.Background(), []string{"-url", "http://127.0.0.1:1", "-d", "10s", "-timeout", "2s"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("run succeeded against a dead server")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("probe took %s; should fail fast, not run the full duration", elapsed)
+	}
+}

@@ -9,14 +9,24 @@
 //
 //	edserve [-addr :8080] [-cache 256] [-result-cache 256] [-workers 0]
 //	        [-request-timeout 0] [-drain-timeout 15s]
+//	        [-jobs-queue 64] [-jobs-workers 2] [-jobs-ttl 15m]
+//	        [-spill-dir ""] [-rate 0] [-burst 5] [-pprof]
+//
+// The async job tier (POST /v1/jobs and friends) runs long suites off
+// the request path: -jobs-queue bounds admission (429 beyond it),
+// -jobs-workers sizes the pool, -jobs-ttl bounds result retention, and
+// -spill-dir persists finished results across restarts. -rate/-burst
+// enable per-tenant token-bucket submission limits (X-Tenant header,
+// else remote address); -pprof mounts net/http/pprof. GET /metrics
+// always serves the Prometheus text exposition.
 //
 // A handler panic answers 500 and is counted in /healthz instead of
 // killing the process; -request-timeout (when positive) bounds every
-// request's context server-side. The server drains gracefully on
-// SIGINT/SIGTERM: new connections stop, in-flight requests get
-// -drain-timeout to finish, and when the grace period expires the
-// remaining connections are closed so a hung streaming consumer cannot
-// stall the exit forever.
+// request's context server-side — job execution is exempt, that's what
+// jobs are for. The server drains gracefully on SIGINT/SIGTERM: new
+// connections stop, in-flight requests get -drain-timeout to finish,
+// and when the grace period expires the remaining connections are
+// closed so a hung streaming consumer cannot stall the exit forever.
 package main
 
 import (
@@ -56,6 +66,13 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	workers := fs.Int("workers", 0, "worker pool size for sweeps, batches and suites (0: one per CPU)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline threaded into each request's context (0: none)")
 	drain := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown grace period")
+	jobsQueue := fs.Int("jobs-queue", 0, "async job admission queue depth (0: default)")
+	jobsWorkers := fs.Int("jobs-workers", 0, "concurrently executing async jobs (0: default)")
+	jobsTTL := fs.Duration("jobs-ttl", 0, "retention of finished jobs before GC (0: default)")
+	spillDir := fs.String("spill-dir", "", "directory persisting finished job results across restarts (empty: none)")
+	rate := fs.Float64("rate", 0, "per-tenant job submissions per second (0: unlimited)")
+	burst := fs.Int("burst", serve.DefaultRateBurst, "per-tenant submission burst")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,10 +84,19 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(serve.Options{Client: cli, CacheSize: *cacheSize, RequestTimeout: *reqTimeout, Logf: serve.DefaultLogf()})
+	srv, err := serve.New(serve.Options{
+		Client: cli, CacheSize: *cacheSize, RequestTimeout: *reqTimeout,
+		JobQueue: *jobsQueue, JobWorkers: *jobsWorkers, JobTTL: *jobsTTL,
+		JobSpillDir: *spillDir, RateLimit: *rate, RateBurst: *burst,
+		EnablePprof: *pprofOn,
+		Logf:        serve.DefaultLogf(),
+	})
 	if err != nil {
 		return err
 	}
+	// Released after the HTTP drain so in-flight status/result requests
+	// still see the store; running jobs are cancelled at that point.
+	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

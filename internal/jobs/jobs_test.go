@@ -1,0 +1,405 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newStore(t *testing.T, o Options) *Store {
+	t.Helper()
+	s, err := New(o)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestLifecycleDone(t *testing.T) {
+	s := newStore(t, Options{Workers: 1})
+	j, err := s.Submit("echo", 3, func(ctx context.Context, j *Job) (any, error) {
+		for i := 0; i < 3; i++ {
+			j.Advance("cell", map[string]int{"i": i})
+		}
+		return "result", nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil || res != "result" {
+		t.Fatalf("Wait = %v, %v", res, err)
+	}
+	snap := j.Snapshot()
+	if snap.State != Done || snap.Done != 3 || snap.Total != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Started.IsZero() || snap.Finished.IsZero() || snap.Finished.Before(snap.Started) {
+		t.Fatalf("timestamps wrong: %+v", snap)
+	}
+	// The event log replays the full lifecycle in order: queued,
+	// running, three cells, done.
+	var types []string
+	if err := j.Events(context.Background(), 0, func(ev Event) error {
+		types = append(types, ev.Type)
+		return nil
+	}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	want := []string{"state", "state", "cell", "cell", "cell", "state"}
+	if len(types) != len(want) {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event types = %v, want %v", types, want)
+		}
+	}
+}
+
+func TestFailedJobKeepsError(t *testing.T) {
+	s := newStore(t, Options{Workers: 1})
+	boom := errors.New("boom")
+	j, err := s.Submit("bad", 1, func(context.Context, *Job) (any, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Wait err = %v, want boom", err)
+	}
+	if st := j.Snapshot(); st.State != Failed || st.Err != "boom" {
+		t.Fatalf("snapshot = %+v", st)
+	}
+}
+
+// TestCancelMidRun: cancelling a running job cancels its context; the
+// job lands in Cancelled (not Failed) and waiters unblock.
+func TestCancelMidRun(t *testing.T) {
+	s := newStore(t, Options{Workers: 1})
+	started := make(chan struct{})
+	j, err := s.Submit("slow", 0, func(ctx context.Context, _ *Job) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	if _, ok := s.Cancel(j.ID()); !ok {
+		t.Fatal("Cancel: job not found")
+	}
+	if _, err := j.Wait(context.Background()); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Wait err = %v, want ErrCancelled", err)
+	}
+	if st := j.Snapshot(); st.State != Cancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+}
+
+// TestCancelQueued: a job cancelled before any worker picks it up goes
+// terminal immediately and the worker skips it.
+func TestCancelQueued(t *testing.T) {
+	s := newStore(t, Options{Workers: 1, Queue: 4})
+	release := make(chan struct{})
+	blocker, err := s.Submit("block", 0, func(ctx context.Context, _ *Job) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	ran := make(chan struct{})
+	queued, err := s.Submit("queued", 0, func(context.Context, *Job) (any, error) {
+		close(ran)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit queued: %v", err)
+	}
+	if _, ok := s.Cancel(queued.ID()); !ok {
+		t.Fatal("Cancel queued: not found")
+	}
+	if _, err := queued.Wait(context.Background()); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("queued Wait err = %v", err)
+	}
+	close(release)
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	select {
+	case <-ran:
+		t.Fatal("cancelled queued job still ran")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestQueueFullAdmission: one worker wedged, the queue filled — the
+// next Submit is refused with ErrQueueFull, and admission resumes once
+// the queue drains.
+func TestQueueFullAdmission(t *testing.T) {
+	const depth = 3
+	s := newStore(t, Options{Workers: 1, Queue: depth})
+	release := make(chan struct{})
+	wedge := func(ctx context.Context, _ *Job) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	var jobs []*Job
+	// One running (dequeued) + depth queued.
+	j, err := s.Submit("wedge", 0, wedge)
+	if err != nil {
+		t.Fatalf("Submit running: %v", err)
+	}
+	jobs = append(jobs, j)
+	waitFor(t, func() bool { return j.Snapshot().State == Running })
+	for i := 0; i < depth; i++ {
+		jq, err := s.Submit(fmt.Sprintf("q%d", i), 0, wedge)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		jobs = append(jobs, jq)
+	}
+	if got := s.Depth(); got != depth {
+		t.Fatalf("Depth = %d, want %d", got, depth)
+	}
+	if _, err := s.Submit("overflow", 0, wedge); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Submit err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	for _, jq := range jobs {
+		if _, err := jq.Wait(context.Background()); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}
+	if _, err := s.Submit("after", 0, func(context.Context, *Job) (any, error) { return nil, nil }); err != nil {
+		t.Fatalf("Submit after drain: %v", err)
+	}
+}
+
+// TestTTLGC: finished jobs (and their spill files) expire after the
+// TTL; live jobs survive.
+func TestTTLGC(t *testing.T) {
+	dir := t.TempDir()
+	s := newStore(t, Options{Workers: 1, TTL: 50 * time.Millisecond, SpillDir: dir})
+	j, err := s.Submit("short", 1, func(_ context.Context, j *Job) (any, error) {
+		j.Advance("", nil)
+		return map[string]string{"ok": "yes"}, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if _, err := os.Stat(s.resultPath(j.ID())); err != nil {
+		t.Fatalf("spilled result missing: %v", err)
+	}
+	// Not yet expired.
+	if n := s.GC(j.Snapshot().Finished.Add(10 * time.Millisecond)); n != 0 {
+		t.Fatalf("premature GC dropped %d jobs", n)
+	}
+	if n := s.GC(j.Snapshot().Finished.Add(time.Second)); n != 1 {
+		t.Fatalf("GC dropped %d jobs, want 1", n)
+	}
+	if _, ok := s.Get(j.ID()); ok {
+		t.Fatal("expired job still listed")
+	}
+	if _, err := os.Stat(s.resultPath(j.ID())); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("expired spill file still present: %v", err)
+	}
+	if got := s.Counts()[Done]; got != 0 {
+		t.Fatalf("done count after GC = %d", got)
+	}
+}
+
+// TestSpillReload: a finished job's result survives a store restart
+// byte-for-byte (the crash-safety contract), restored as raw bytes.
+func TestSpillReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Workers: 1, SpillDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	payload := []byte(`{"answer":42}` + "\n")
+	j, err := s.Submit("bytes", 1, func(_ context.Context, j *Job) (any, error) {
+		j.Advance("", nil)
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	id := j.ID()
+	s.Close()
+
+	s2 := newStore(t, Options{Workers: 1, SpillDir: dir})
+	j2, ok := s2.Get(id)
+	if !ok {
+		t.Fatal("job lost across restart")
+	}
+	if !j2.Restored() {
+		t.Fatal("reloaded job not marked restored")
+	}
+	res, err, terminal := j2.Result()
+	if !terminal || err != nil {
+		t.Fatalf("Result = _, %v, %v", err, terminal)
+	}
+	got, ok := res.([]byte)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("restored result = %q, want %q", got, payload)
+	}
+	if st := j2.Snapshot(); st.State != Done || st.Done != 1 {
+		t.Fatalf("restored snapshot = %+v", st)
+	}
+}
+
+// TestPollStampede: many goroutines hammering Snapshot/Wait/Events on
+// one running job must all observe a consistent lifecycle (run under
+// -race, this is the data-race gate for the job tier).
+func TestPollStampede(t *testing.T) {
+	s := newStore(t, Options{Workers: 1})
+	const cells = 20
+	j, err := s.Submit("stampede", cells, func(_ context.Context, j *Job) (any, error) {
+		for i := 0; i < cells; i++ {
+			j.Advance("cell", i)
+		}
+		return "done", nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	const pollers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, pollers)
+	for p := 0; p < pollers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			switch p % 3 {
+			case 0: // poll snapshots until terminal
+				for {
+					st := j.Snapshot()
+					if st.Done < 0 || st.Done > cells {
+						errs <- fmt.Errorf("progress out of range: %+v", st)
+						return
+					}
+					if st.State.Terminal() {
+						return
+					}
+				}
+			case 1: // wait for the result
+				if res, err := j.Wait(context.Background()); err != nil || res != "done" {
+					errs <- fmt.Errorf("Wait = %v, %v", res, err)
+				}
+			default: // follow the event log and check seq density
+				next := 0
+				if err := j.Events(context.Background(), 0, func(ev Event) error {
+					if ev.Seq != next {
+						return fmt.Errorf("seq %d, want %d", ev.Seq, next)
+					}
+					next++
+					return nil
+				}); err != nil {
+					errs <- err
+				}
+				// queued + running + cells + done
+				if next != cells+3 {
+					errs <- fmt.Errorf("saw %d events, want %d", next, cells+3)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestEventsResumeFrom: a follower resuming from a mid-log seq sees
+// only the tail.
+func TestEventsResumeFrom(t *testing.T) {
+	s := newStore(t, Options{Workers: 1})
+	j, err := s.Submit("resume", 2, func(_ context.Context, j *Job) (any, error) {
+		j.Advance("cell", "a")
+		j.Advance("cell", "b")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	var seqs []int
+	if err := j.Events(context.Background(), 3, func(ev Event) error {
+		seqs = append(seqs, ev.Seq)
+		return nil
+	}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	// Full log: 0 queued, 1 running, 2-3 cells, 4 done. From 3: [3, 4].
+	if len(seqs) != 2 || seqs[0] != 3 || seqs[1] != 4 {
+		t.Fatalf("resumed seqs = %v, want [3 4]", seqs)
+	}
+}
+
+func TestCompleteIsBornDone(t *testing.T) {
+	s := newStore(t, Options{Workers: 1})
+	j, err := s.Complete("cached", 5, json.RawMessage(`{"hit":true}`))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	st := j.Snapshot()
+	if st.State != Done || st.Done != 5 || st.Total != 5 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+	res, err, ok := j.Result()
+	if !ok || err != nil || string(res.(json.RawMessage)) != `{"hit":true}` {
+		t.Fatalf("Result = %v, %v, %v", res, err, ok)
+	}
+	if got := s.Counts()[Done]; got != 1 {
+		t.Fatalf("done count = %d", got)
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Close()
+	if _, err := s.Submit("late", 0, func(context.Context, *Job) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// waitFor polls cond with a deadline — for transitions driven by the
+// worker goroutines.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

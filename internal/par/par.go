@@ -49,7 +49,10 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 			}
 			fn(i)
 		}
-		return nil
+		// Mirror the pooled path: a cancellation that lands while the
+		// last item is in flight is still a cancellation — callers must
+		// not mistake an aborted pass for a completed one.
+		return ctx.Err()
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-tenant token bucket over job submissions: each
+// key earns rate tokens per second up to burst, one submission spends
+// one token. Dependency-free — x/time/rate would be a new module. The
+// bucket map self-prunes: any key observed at full burst (i.e. idle
+// long enough to have refilled completely) is dropped, so one-shot
+// tenants don't accumulate forever.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// now is replaceable in tests.
+	now func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = DefaultRateBurst
+	}
+	return &rateLimiter{
+		rate: rate, burst: float64(burst),
+		buckets: map[string]*bucket{},
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty
+// it reports false plus how long until one token accrues — the
+// Retry-After the 429 carries.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		return false, wait
+	}
+	b.tokens--
+	// Opportunistic prune: drop other keys that have fully refilled.
+	if len(l.buckets) > 1024 {
+		for k, ob := range l.buckets {
+			if k != key && ob.tokens+now.Sub(ob.last).Seconds()*l.rate >= l.burst {
+				delete(l.buckets, k)
+			}
+		}
+	}
+	return true, 0
+}

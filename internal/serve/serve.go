@@ -8,20 +8,35 @@
 //
 // Endpoints (see the README's "Serving edmac" section for payloads):
 //
-//	GET  /healthz       liveness + cache statistics
-//	GET  /v1/scenarios  the builtin scenario registry
-//	POST /v1/optimize   play the game for one protocol
-//	POST /v1/simulate   replay a configuration at packet level
-//	POST /v1/suite      the scenario×protocol matrix (?stream=ndjson
-//	                    delivers cells as they finish)
+//	GET    /healthz             liveness + cache/jobs statistics
+//	GET    /metrics             Prometheus text exposition
+//	GET    /v1/scenarios        the builtin scenario registry
+//	POST   /v1/optimize         play the game for one protocol
+//	POST   /v1/simulate         replay a configuration at packet level
+//	POST   /v1/suite            the scenario×protocol matrix (NDJSON
+//	                            streaming via Accept: application/x-ndjson
+//	                            or the deprecated ?stream=ndjson)
+//	POST   /v1/jobs             submit an async job (202 + ID; 429 when
+//	                            the queue refuses admission)
+//	GET    /v1/jobs             list known jobs
+//	GET    /v1/jobs/{id}        job status + progress
+//	GET    /v1/jobs/{id}/result the finished payload, byte-identical to
+//	                            the synchronous endpoint's response
+//	GET    /v1/jobs/{id}/events NDJSON progress/cell event stream
+//	DELETE /v1/jobs/{id}        cancel the job
 //
-// Every handler threads the request context into the client, so a
-// disconnected caller aborts its solve, simulation event loop or suite
-// worker-pool feed instead of burning the backend. The root handler
-// also hardens the process: a panicking handler is recovered into a
-// 500 JSON error (counted, visible in /healthz), and an optional
-// per-request deadline bounds how long any one request may hold a
-// worker.
+// Every error, on every route, is the one JSON envelope
+// {"error":{"code":"...","message":"..."}} with a stable
+// machine-readable code; wrong-method requests answer 405 with an
+// Allow header in the same envelope. Every handler threads the request
+// context into the client, so a disconnected caller aborts its solve,
+// simulation event loop or suite worker-pool feed instead of burning
+// the backend. The root handler also hardens the process: a panicking
+// handler is recovered into a 500 JSON error (counted, visible in
+// /healthz and /metrics), and an optional per-request deadline bounds
+// how long any one request may hold a worker. Job submissions pass
+// per-tenant token-bucket rate limiting (X-Tenant header, falling back
+// to the remote address) before touching the queue.
 package serve
 
 import (
@@ -30,13 +45,18 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	edmac "github.com/edmac-project/edmac"
+	"github.com/edmac-project/edmac/internal/jobs"
 	"github.com/edmac-project/edmac/internal/jsonwire"
 	"github.com/edmac-project/edmac/internal/lru"
 )
@@ -44,6 +64,10 @@ import (
 // maxBodyBytes bounds request documents; scenario specs are a few KB,
 // so a megabyte is generous.
 const maxBodyBytes = 1 << 20
+
+// DefaultRateBurst is the token-bucket capacity when rate limiting is
+// on and Options leave the burst unset.
+const DefaultRateBurst = 5
 
 // Options configure a Server.
 type Options struct {
@@ -55,17 +79,46 @@ type Options struct {
 	CacheSize int
 	// RequestTimeout, when positive, bounds every request's context: a
 	// solve, simulation or suite that outlives it is cancelled and the
-	// request answered 503. Zero imposes no server-side deadline.
+	// request answered 503. Zero imposes no server-side deadline. Job
+	// execution is not bound by it — jobs exist precisely so long work
+	// outlives its submitting request.
 	RequestTimeout time.Duration
+	// JobQueue bounds the async tier's admission queue; submissions
+	// beyond it answer 429 queue_full. Values below 1 select
+	// jobs.DefaultQueue.
+	JobQueue int
+	// JobWorkers is the number of jobs executed concurrently (each job
+	// is internally parallel already); values below 1 select
+	// jobs.DefaultWorkers.
+	JobWorkers int
+	// JobTTL is how long finished jobs are retained for status/result
+	// fetches; <= 0 selects jobs.DefaultTTL.
+	JobTTL time.Duration
+	// JobSpillDir, when set, persists finished job results to disk and
+	// reloads them on startup (crash-safe result retention).
+	JobSpillDir string
+	// RateLimit, when positive, is the per-tenant job-submission budget
+	// in submissions per second (token bucket, burst RateBurst). Zero
+	// disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity; values below 1 select
+	// DefaultRateBurst.
+	RateBurst int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in,
+	// since profiles expose internals.
+	EnablePprof bool
 	// Logf, when set, receives one line per completed request.
 	Logf func(format string, args ...any)
 }
 
 // Server is the HTTP service. Construct with New; the zero value is
-// invalid. Safe for concurrent use.
+// invalid. Safe for concurrent use. Close releases the job workers.
 type Server struct {
 	cli     *edmac.Client
 	cache   *lru.Cache
+	jobs    *jobs.Store
+	limiter *rateLimiter
+	metrics *metrics
 	mux     *http.ServeMux
 	logf    func(format string, args ...any)
 	timeout time.Duration
@@ -74,6 +127,9 @@ type Server struct {
 	// each one is a server bug that answered 500 instead of killing the
 	// process; /healthz exposes the count so operators notice.
 	panics atomic.Int64
+	// coalesced counts responses served by waiting on another request's
+	// identical in-flight computation.
+	coalesced atomic.Int64
 
 	// flights coalesces concurrent identical cache misses: the first
 	// request computes, the rest wait for its response bytes — N users
@@ -108,21 +164,111 @@ func New(o Options) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	s := &Server{cli: cli, cache: lru.New(size), mux: http.NewServeMux(), logf: logf, timeout: o.RequestTimeout, flights: map[string]*flight{}}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/suite", s.handleSuite)
+	store, err := jobs.New(jobs.Options{
+		Queue:    o.JobQueue,
+		Workers:  o.JobWorkers,
+		TTL:      o.JobTTL,
+		SpillDir: o.JobSpillDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cli: cli, cache: lru.New(size), jobs: store,
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(), logf: logf, timeout: o.RequestTimeout,
+		flights: map[string]*flight{},
+	}
+	if o.RateLimit > 0 {
+		s.limiter = newRateLimiter(o.RateLimit, o.RateBurst)
+	}
+	s.route("/healthz", methods{"GET": s.handleHealthz})
+	s.route("/metrics", methods{"GET": s.handleMetrics})
+	s.route("/v1/scenarios", methods{"GET": s.handleScenarios})
+	s.route("/v1/optimize", methods{"POST": s.handleOptimize})
+	s.route("/v1/simulate", methods{"POST": s.handleSimulate})
+	s.route("/v1/suite", methods{"POST": s.handleSuite})
+	s.route("/v1/jobs", methods{"POST": s.handleJobSubmit, "GET": s.handleJobList})
+	s.route("/v1/jobs/{id}", methods{"GET": s.handleJobStatus, "DELETE": s.handleJobCancel})
+	s.route("/v1/jobs/{id}/result", methods{"GET": s.handleJobResult})
+	s.route("/v1/jobs/{id}/events", methods{"GET": s.handleJobEvents})
+	if o.EnablePprof {
+		s.mountPprof()
+	}
+	// Everything unrouted answers the enveloped 404 instead of the
+	// default plain-text one.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeCoded(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("no route for %s", r.URL.Path))
+	})
 	return s, nil
 }
 
+// Close stops the job workers (cancelling running jobs). The HTTP
+// handler must not be used afterwards.
+func (s *Server) Close() {
+	s.jobs.Close()
+}
+
+// methods maps HTTP methods onto handlers for one route.
+type methods map[string]http.HandlerFunc
+
+// route registers a path pattern with per-method dispatch: a request
+// whose method has no handler answers 405 with an Allow header and the
+// error envelope — uniformly, on every route. HEAD rides on GET (the
+// server strips the body). The pattern doubles as the bounded-
+// cardinality endpoint label of the request metrics.
+func (s *Server) route(pattern string, m methods) {
+	allowed := make([]string, 0, len(m)+1)
+	for method := range m {
+		allowed = append(allowed, method)
+	}
+	if _, ok := m["GET"]; ok {
+		allowed = append(allowed, "HEAD")
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.endpoint = pattern
+		}
+		h, ok := m[r.Method]
+		if !ok && r.Method == http.MethodHead {
+			h, ok = m[http.MethodGet]
+		}
+		if !ok {
+			w.Header().Set("Allow", allow)
+			writeCoded(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed on %s (allow: %s)", r.Method, pattern, allow))
+			return
+		}
+		h(w, r)
+	})
+}
+
+// mountPprof exposes the runtime profiles. The endpoint label is
+// collapsed to one value so profile names don't fan out the metrics.
+func (s *Server) mountPprof() {
+	wrap := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if sw, ok := w.(*statusWriter); ok {
+				sw.endpoint = "/debug/pprof"
+			}
+			h(w, r)
+		}
+	}
+	s.mux.HandleFunc("/debug/pprof/", wrap(pprof.Index))
+	s.mux.HandleFunc("/debug/pprof/cmdline", wrap(pprof.Cmdline))
+	s.mux.HandleFunc("/debug/pprof/profile", wrap(pprof.Profile))
+	s.mux.HandleFunc("/debug/pprof/symbol", wrap(pprof.Symbol))
+	s.mux.HandleFunc("/debug/pprof/trace", wrap(pprof.Trace))
+}
+
 // Handler returns the service's root handler: panic recovery, the
-// optional per-request deadline, and the request log.
+// optional per-request deadline, request metrics, and the request log.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK, endpoint: "other"}
 		if s.timeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 			defer cancel()
@@ -145,11 +291,12 @@ func (s *Server) Handler() http.Handler {
 				s.panics.Add(1)
 				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
 				if !sw.wrote {
-					writeJSON(sw, http.StatusInternalServerError, errorBody{Error: "internal error"})
+					writeCoded(sw, http.StatusInternalServerError, codeInternal, "internal error")
 				}
 			}()
 			s.mux.ServeHTTP(sw, r)
 		}()
+		s.metrics.observe(sw.endpoint, sw.status, time.Since(start))
 		s.logf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
 	})
 }
@@ -167,11 +314,13 @@ func (s *Server) CacheStats() edmac.CacheStats {
 
 // statusWriter records the status code for the request log and whether
 // anything reached the wire (the panic recovery can only substitute a
-// 500 while the response is still unwritten).
+// 500 while the response is still unwritten). The matched route sets
+// endpoint, which becomes the metrics label.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
-	wrote  bool
+	status   int
+	wrote    bool
+	endpoint string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -193,11 +342,34 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// --- plumbing ---------------------------------------------------------
+// --- error envelope ---------------------------------------------------
 
-// errorBody is the uniform error response.
+// The stable machine-readable error codes. Every error response on
+// every route carries exactly one of these; clients branch on the code,
+// never on the message text.
+const (
+	codeInvalidRequest   = "invalid_request"
+	codeInfeasible       = "infeasible"
+	codeTimeout          = "timeout"
+	codeQueueFull        = "queue_full"
+	codeRateLimited      = "rate_limited"
+	codeNotFound         = "not_found"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeCancelled        = "cancelled"
+	codeClientClosed     = "client_closed"
+	codeInternal         = "internal"
+)
+
+// errorPayload is the inner error object of the envelope.
+type errorPayload struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorBody is the uniform error response:
+// {"error":{"code":"...","message":"..."}}.
 type errorBody struct {
-	Error string `json:"error"`
+	Error errorPayload `json:"error"`
 }
 
 // statusClientClosedRequest is the de-facto (nginx) status for requests
@@ -205,34 +377,54 @@ type errorBody struct {
 // request log keeps an honest record.
 const statusClientClosedRequest = 499
 
-// writeError maps a client error onto the wire: infeasible games are
-// 422 (a well-formed request whose requirements cannot be met),
-// abandoned requests 499, requests that outlived the server's own
-// deadline 503 (only the RequestTimeout middleware sets one — a
-// disconnecting client surfaces as Canceled, not DeadlineExceeded),
-// everything else a 400 — handlers own no state, so failures are
-// request-induced.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+// errorStatus classifies an error into (HTTP status, stable code):
+// infeasible games are 422 (a well-formed request whose requirements
+// cannot be met), abandoned requests 499, requests that outlived the
+// server's own deadline 503 (only the RequestTimeout middleware sets
+// one — a disconnecting client surfaces as Canceled, not
+// DeadlineExceeded), refused job admissions 429, cancelled jobs 410,
+// everything else a 400 — handlers own no state, so residual failures
+// are request-induced.
+func errorStatus(err error) (int, string) {
 	var tooBig *http.MaxBytesError
 	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests, codeQueueFull
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable, codeInternal
+	case errors.Is(err, jobs.ErrCancelled):
+		return http.StatusGone, codeCancelled
 	case errors.Is(err, context.Canceled):
-		status = statusClientClosedRequest
+		return statusClientClosedRequest, codeClientClosed
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, codeTimeout
 	case errors.Is(err, edmac.ErrInfeasible):
-		status = http.StatusUnprocessableEntity
+		return http.StatusUnprocessableEntity, codeInfeasible
 	case errors.As(err, &tooBig):
-		status = http.StatusRequestEntityTooLarge
+		return http.StatusRequestEntityTooLarge, codeInvalidRequest
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	return http.StatusBadRequest, codeInvalidRequest
+}
+
+// writeError maps an error onto the wire in the uniform envelope.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeCoded(w, status, code, err.Error())
+}
+
+// writeCoded writes the error envelope with an explicit status/code.
+func writeCoded(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorBody{Error: errorPayload{Code: code, Message: message}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		// Nothing user-induced marshals badly; this is a server bug.
-		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":{"code":"internal","message":"response encoding failed"}}`, http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -252,6 +444,37 @@ func decodeStrict(r *http.Request, req any) error {
 	return nil
 }
 
+// wantsNDJSON is the suite-streaming content negotiation: the Accept
+// header naming application/x-ndjson is the canonical spelling, with
+// the historical ?stream=ndjson query parameter kept as a deprecated
+// alias.
+func wantsNDJSON(r *http.Request) bool {
+	if r.URL.Query().Get("stream") != "" {
+		return true
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediatype, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mediatype) == "application/x-ndjson" {
+			return true
+		}
+	}
+	return false
+}
+
+// tenantKey identifies the principal a rate bucket belongs to: the
+// X-Tenant header when the caller names itself, the remote host
+// otherwise.
+func tenantKey(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return "tenant:" + t
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
 // cacheKey canonicalizes a decoded request — the same rule the
 // Client's result cache keys with (re-marshalling the typed struct
 // erases field order, whitespace and null-vs-absent differences), so
@@ -259,14 +482,14 @@ func decodeStrict(r *http.Request, req any) error {
 var cacheKey = jsonwire.CacheKey
 
 // serveCached answers from the response cache or computes, caches and
-// answers. Only successful responses are cached. Concurrent identical
-// misses coalesce: one request (the leader) computes while the rest
-// wait for its bytes, so a cold-cache stampede of equal requests costs
-// one solve. The X-Cache header reports HIT, MISS (leader) or
-// COALESCED (waiter) on every cacheable request.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, req any, compute func() (any, error)) {
-	key, cacheable := cacheKey(endpoint, req)
-	if !cacheable {
+// answers. An empty key means "uncacheable". Only successful responses
+// are cached. Concurrent identical misses coalesce: one request (the
+// leader) computes while the rest wait for its bytes, so a cold-cache
+// stampede of equal requests costs one solve. The X-Cache header
+// reports HIT, MISS (leader) or COALESCED (waiter) on every cacheable
+// request.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func() (any, error)) {
+	if key == "" {
 		s.computeAndWrite(w, "", compute)
 		return
 	}
@@ -298,6 +521,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 				writeError(w, f.err)
 				return
 			}
+			s.coalesced.Add(1)
 			w.Header().Set("X-Cache", "COALESCED")
 			writeBody(w, f.data)
 			return
@@ -327,7 +551,7 @@ func (s *Server) computeAndWrite(w http.ResponseWriter, key string, compute func
 	}
 	data, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":{"code":"internal","message":"response encoding failed"}}`, http.StatusInternalServerError)
 		return nil, err
 	}
 	data = append(data, '\n')
@@ -345,15 +569,100 @@ func writeBody(w http.ResponseWriter, data []byte) {
 	w.Write(data)
 }
 
+// --- prepared requests ------------------------------------------------
+
+// prepared is one executable request, shared verbatim by the
+// synchronous handlers and the async job executor: the same compute
+// closure and the same cache key, which is what makes a job's fetched
+// result byte-identical to the synchronous response and lets the two
+// paths share the response cache.
+type prepared struct {
+	kind  string
+	key   string // response-cache key; "" = uncacheable
+	total int    // progress denominator (suite: cells, else 1)
+	// compute runs the request. observe (nil on synchronous calls)
+	// receives every finished suite cell for progress publication.
+	compute func(ctx context.Context, observe func(edmac.SuiteCell)) (any, error)
+}
+
+func (s *Server) prepareOptimize(req edmac.OptimizeRequest) prepared {
+	key, _ := cacheKey("optimize", req)
+	return prepared{kind: "optimize", key: key, total: 1,
+		compute: func(ctx context.Context, _ func(edmac.SuiteCell)) (any, error) {
+			return s.cli.Optimize(ctx, req)
+		}}
+}
+
+func (s *Server) prepareSimulate(req edmac.SimulateRequest) prepared {
+	// Key on the effective request: an absent duration and the explicit
+	// default are the same simulation, so they must share a cache entry.
+	keyReq := req
+	if keyReq.Options.Duration <= 0 {
+		keyReq.Options.Duration = edmac.DefaultSimDuration
+	}
+	key, _ := cacheKey("simulate", keyReq)
+	return prepared{kind: "simulate", key: key, total: 1,
+		compute: func(ctx context.Context, _ func(edmac.SuiteCell)) (any, error) {
+			rep, err := s.cli.Simulate(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			return struct {
+				Sim      wireSimReport        `json:"sim"`
+				Analytic *edmac.AnalyticCheck `json:"analytic,omitempty"`
+			}{wireSimReportOf(rep.Sim), rep.Analytic}, nil
+		}}
+}
+
+func (s *Server) prepareSuite(req suiteRequest) (prepared, error) {
+	resolved, err := req.resolve()
+	if err != nil {
+		return prepared{}, err
+	}
+	// Key on the effective request, not its spelling: the worker count
+	// never changes results (the module-wide determinism contract),
+	// empty selections mean the full registry / all protocols, and
+	// absent options mean their documented defaults — none of those may
+	// fragment the cache.
+	keyReq := req
+	keyReq.Options.Workers = 0
+	if keyReq.Options.Duration <= 0 {
+		keyReq.Options.Duration = edmac.DefaultSuiteDuration
+	}
+	if keyReq.Options.EnergyBudget <= 0 {
+		keyReq.Options.EnergyBudget = edmac.DefaultEnergyBudget()
+	}
+	keyReq.Scenarios = make([]string, len(resolved.Scenarios))
+	for i, sp := range resolved.Scenarios {
+		keyReq.Scenarios[i] = sp.Name()
+	}
+	keyReq.Protocols = resolved.Protocols
+	key, _ := cacheKey("suite", keyReq)
+	return prepared{
+		kind: "suite", key: key,
+		total: len(resolved.Scenarios) * len(resolved.Protocols),
+		compute: func(ctx context.Context, observe func(edmac.SuiteCell)) (any, error) {
+			if observe == nil {
+				return s.cli.Suite(ctx, resolved)
+			}
+			return s.cli.SuiteObserved(ctx, resolved, func(cell edmac.SuiteCell) error {
+				observe(cell)
+				return nil
+			})
+		}}, nil
+}
+
 // --- handlers ---------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		Status          string           `json:"status"`
-		ResponseCache   edmac.CacheStats `json:"response_cache"`
-		ResultCache     edmac.CacheStats `json:"result_cache"`
-		PanicsRecovered int64            `json:"panics_recovered"`
-	}{"ok", s.CacheStats(), s.cli.CacheStats(), s.PanicsRecovered()})
+		Status          string             `json:"status"`
+		ResponseCache   edmac.CacheStats   `json:"response_cache"`
+		ResultCache     edmac.CacheStats   `json:"result_cache"`
+		PanicsRecovered int64              `json:"panics_recovered"`
+		JobsQueueDepth  int                `json:"jobs_queue_depth"`
+		Jobs            map[jobs.State]int `json:"jobs"`
+	}{"ok", s.CacheStats(), s.cli.CacheStats(), s.PanicsRecovered(), s.jobs.Depth(), s.jobs.Counts()})
 }
 
 // scenarioInfo is one registry row of GET /v1/scenarios.
@@ -390,9 +699,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.serveCached(w, r, "optimize", req, func() (any, error) {
-		return s.cli.Optimize(r.Context(), req)
-	})
+	p := s.prepareOptimize(req)
+	s.serveCached(w, r, p.key, func() (any, error) { return p.compute(r.Context(), nil) })
 }
 
 // wireSimReport is SimReport with the NaN-able delay summaries boxed,
@@ -470,22 +778,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	// Key on the effective request: an absent duration and the explicit
-	// default are the same simulation, so they must share a cache entry.
-	keyReq := req
-	if keyReq.Options.Duration <= 0 {
-		keyReq.Options.Duration = edmac.DefaultSimDuration
-	}
-	s.serveCached(w, r, "simulate", keyReq, func() (any, error) {
-		rep, err := s.cli.Simulate(r.Context(), req)
-		if err != nil {
-			return nil, err
-		}
-		return struct {
-			Sim      wireSimReport        `json:"sim"`
-			Analytic *edmac.AnalyticCheck `json:"analytic,omitempty"`
-		}{wireSimReportOf(rep.Sim), rep.Analytic}, nil
-	})
+	p := s.prepareSimulate(req)
+	s.serveCached(w, r, p.key, func() (any, error) { return p.compute(r.Context(), nil) })
 }
 
 // suiteRequest is the wire form of POST /v1/suite: builtin scenarios
@@ -524,39 +818,20 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resolved, err := req.resolve()
+	p, err := s.prepareSuite(req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	if r.URL.Query().Get("stream") != "" {
+	if wantsNDJSON(r) {
+		resolved, _ := req.resolve()
 		s.streamSuite(w, r, resolved)
 		return
 	}
-	// Key on the effective request, not its spelling: the worker count
-	// never changes results (the module-wide determinism contract),
-	// empty selections mean the full registry / all protocols, and
-	// absent options mean their documented defaults — none of those may
-	// fragment the cache.
-	keyReq := req
-	keyReq.Options.Workers = 0
-	if keyReq.Options.Duration <= 0 {
-		keyReq.Options.Duration = edmac.DefaultSuiteDuration
-	}
-	if keyReq.Options.EnergyBudget <= 0 {
-		keyReq.Options.EnergyBudget = edmac.DefaultEnergyBudget()
-	}
-	keyReq.Scenarios = make([]string, len(resolved.Scenarios))
-	for i, sp := range resolved.Scenarios {
-		keyReq.Scenarios[i] = sp.Name()
-	}
-	keyReq.Protocols = resolved.Protocols
-	s.serveCached(w, r, "suite", keyReq, func() (any, error) {
-		return s.cli.Suite(r.Context(), resolved)
-	})
+	s.serveCached(w, r, p.key, func() (any, error) { return p.compute(r.Context(), nil) })
 }
 
-// streamSuite answers ?stream=... requests with NDJSON: one SuiteCell
+// streamSuite answers NDJSON-negotiated suite requests: one SuiteCell
 // per line, written (and flushed) as each cell finishes — long
 // matrices surface progress instead of a minutes-long silence. Streams
 // bypass the response cache; a disconnecting client cancels the
@@ -584,7 +859,8 @@ func (s *Server) streamSuite(w http.ResponseWriter, r *http.Request, req edmac.S
 	if err != nil {
 		// The status line is long gone; a trailer line keeps the error
 		// visible to stream consumers.
-		enc.Encode(errorBody{Error: err.Error()})
+		_, code := errorStatus(err)
+		enc.Encode(errorBody{Error: errorPayload{Code: code, Message: err.Error()}})
 	}
 }
 

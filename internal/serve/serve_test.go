@@ -26,8 +26,22 @@ func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 		t.Fatalf("New: %v", err)
 	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 	return ts, s
+}
+
+// decodeEnvelope parses the uniform error envelope, failing the test if
+// the body is any other shape.
+func decodeEnvelope(t *testing.T, data []byte) (code, message string) {
+	t.Helper()
+	var e errorBody
+	if err := json.Unmarshal(data, &e); err != nil || e.Error.Code == "" {
+		t.Fatalf("body is not the error envelope: %s", data)
+	}
+	return e.Error.Code, e.Error.Message
 }
 
 func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
@@ -146,11 +160,8 @@ func TestOptimizeInfeasibleIs422(t *testing.T) {
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("status = %d (%s), want 422", resp.StatusCode, data)
 	}
-	var e struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
-		t.Fatalf("error body = %s", data)
+	if code, _ := decodeEnvelope(t, data); code != "infeasible" {
+		t.Fatalf("error code = %q, want infeasible", code)
 	}
 }
 
@@ -375,6 +386,7 @@ func TestPanicRecovery(t *testing.T) {
 	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	defer s.Close()
 
 	resp, err := http.Get(ts.URL + "/boom")
 	if err != nil {
@@ -385,11 +397,8 @@ func TestPanicRecovery(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status = %d (%s), want 500", resp.StatusCode, data)
 	}
-	var e struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
-		t.Fatalf("panic response is not the JSON error shape: %s", data)
+	if code, _ := decodeEnvelope(t, data); code != "internal" {
+		t.Fatalf("panic error code = %q, want internal", code)
 	}
 	if got := s.PanicsRecovered(); got != 1 {
 		t.Fatalf("PanicsRecovered = %d, want 1", got)
@@ -421,6 +430,7 @@ func TestRequestTimeout(t *testing.T) {
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	defer s.Close()
 
 	// Minutes of simulated traffic if the deadline were ignored.
 	body := `{"protocol":"xmac","scenario":{"depth":5,"density":6,"sample_interval":120,"window":60,"payload":50,"radio":"cc2420"},"params":[0.125],"options":{"duration":1000000}}`

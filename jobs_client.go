@@ -1,0 +1,311 @@
+package edmac
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/edmac-project/edmac/internal/jobs"
+)
+
+// This file is the Client's async job tier — the in-process mirror of
+// edserve's /v1/jobs API, over the same internal/jobs store the HTTP
+// layer uses. Go callers submit an optimize/simulate/suite request,
+// get a job ID back immediately, and then poll, wait, stream events or
+// cancel — without hand-rolling goroutines, channels or polling loops.
+// The admission contract matches the service's: a bounded queue whose
+// overflow is ErrJobQueueFull, never unbounded buffering.
+
+// ErrJobQueueFull is SubmitJob's admission-control refusal: the job
+// queue is at capacity and the request was not accepted. The edserve
+// layer surfaces the same condition as HTTP 429.
+var ErrJobQueueFull = jobs.ErrQueueFull
+
+// ErrJobCancelled marks a job terminated by CancelJob rather than by
+// its own execution.
+var ErrJobCancelled = jobs.ErrCancelled
+
+// ErrJobNotFound reports an unknown (or already garbage-collected) job
+// ID.
+var ErrJobNotFound = errors.New("edmac: job not found")
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	JobQueued    JobState = JobState(jobs.Queued)
+	JobRunning   JobState = JobState(jobs.Running)
+	JobDone      JobState = JobState(jobs.Done)
+	JobFailed    JobState = JobState(jobs.Failed)
+	JobCancelled JobState = JobState(jobs.Cancelled)
+)
+
+// Terminal reports whether the state is final (done, failed or
+// cancelled).
+func (s JobState) Terminal() bool { return jobs.State(s).Terminal() }
+
+// JobStatus is a snapshot of one job's externally visible state.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"` // "optimize", "simulate" or "suite"
+	State JobState `json:"state"`
+	// Done/Total are the progress counters: finished cells over matrix
+	// size for suites, 0→1 for the single-unit kinds.
+	Done     int       `json:"done"`
+	Total    int       `json:"total,omitempty"`
+	Created  time.Time `json:"created_at"`
+	Started  time.Time `json:"started_at,omitzero"`
+	Finished time.Time `json:"finished_at,omitzero"`
+	// Err is the failure (or cancellation) message of a terminal job.
+	Err string `json:"error,omitempty"`
+}
+
+// JobEvent is one entry of a job's ordered event log: a state
+// transition, a progress tick, or a finished suite cell. Seq is dense
+// from 0, so a consumer can resume a stream from any position.
+type JobEvent struct {
+	Seq   int      `json:"seq"`
+	Type  string   `json:"type"` // "state", "progress" or "cell"
+	State JobState `json:"state,omitempty"`
+	Done  int      `json:"done"`
+	Total int      `json:"total,omitempty"`
+	Err   string   `json:"error,omitempty"`
+	// Cell is the finished suite cell of a "cell" event, nil otherwise.
+	Cell *SuiteCell `json:"cell,omitempty"`
+}
+
+// JobRequest names the deferred work: exactly one of the three
+// payloads, each the same request its synchronous method takes.
+type JobRequest struct {
+	Optimize *OptimizeRequest `json:"optimize,omitempty"`
+	Simulate *SimulateRequest `json:"simulate,omitempty"`
+	Suite    *SuiteRequest    `json:"suite,omitempty"`
+}
+
+// WithJobs sizes the client's async job tier: queue bounds admission
+// (SubmitJob beyond it fails with ErrJobQueueFull), workers is the
+// number of jobs executed concurrently, and ttl is how long finished
+// jobs remain fetchable before garbage collection. Zero values select
+// the package defaults. The tier itself is created lazily on first
+// SubmitJob either way — WithJobs only tunes it.
+func WithJobs(queue, workers int, ttl time.Duration) Option {
+	return func(c *Client) error {
+		if queue < 0 || workers < 0 || ttl < 0 {
+			return fmt.Errorf("edmac: WithJobs: negative queue, workers or ttl")
+		}
+		c.jobsOpts = jobs.Options{Queue: queue, Workers: workers, TTL: ttl}
+		return nil
+	}
+}
+
+// jobStore returns the client's job store, creating it on first use.
+func (c *Client) jobStore() (*jobs.Store, error) {
+	c.jobsMu.Lock()
+	defer c.jobsMu.Unlock()
+	if c.jobsStore == nil {
+		s, err := jobs.New(c.jobsOpts)
+		if err != nil {
+			return nil, err
+		}
+		c.jobsStore = s
+	}
+	return c.jobsStore, nil
+}
+
+// Close releases the client's job tier: running jobs are cancelled,
+// queued ones marked cancelled, and the workers stopped. A client that
+// never submitted a job closes as a no-op. The synchronous methods
+// remain usable afterwards; SubmitJob does not.
+func (c *Client) Close() error {
+	c.jobsMu.Lock()
+	s := c.jobsStore
+	c.jobsMu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+	return nil
+}
+
+// jobOf resolves an ID against the store without creating the tier —
+// looking up a job on a client that never submitted one is simply
+// not-found.
+func (c *Client) jobOf(id string) (*jobs.Job, error) {
+	c.jobsMu.Lock()
+	s := c.jobsStore
+	c.jobsMu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	j, ok := s.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	return j, nil
+}
+
+func jobStatusOf(snap jobs.Snapshot) JobStatus {
+	return JobStatus{
+		ID: snap.ID, Kind: snap.Kind, State: JobState(snap.State),
+		Done: snap.Done, Total: snap.Total,
+		Created: snap.Created, Started: snap.Started, Finished: snap.Finished,
+		Err: snap.Err,
+	}
+}
+
+// SubmitJob admits an asynchronous request and returns immediately
+// with its queued status; the work runs on the job tier's worker pool.
+// The job's result — fetched with JobResult — is exactly what the
+// synchronous method would have returned: OptimizeReport,
+// SimulateReport or *SuiteReport by kind. Suite jobs additionally
+// publish every finished cell on the event log (JobEvents). ctx guards
+// only the submission itself, not the job's execution; cancel the job,
+// not the context.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (JobStatus, error) {
+	if _, err := ready(ctx); err != nil {
+		return JobStatus{}, err
+	}
+	store, err := c.jobStore()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var (
+		kind  string
+		total int
+		run   jobs.RunFunc
+		n     int
+	)
+	if r := req.Optimize; r != nil {
+		n++
+		kind, total = "optimize", 1
+		run = func(ctx context.Context, j *jobs.Job) (any, error) {
+			rep, err := c.Optimize(ctx, *r)
+			if err != nil {
+				return nil, err
+			}
+			j.Advance("", nil)
+			return rep, nil
+		}
+	}
+	if r := req.Simulate; r != nil {
+		n++
+		kind, total = "simulate", 1
+		run = func(ctx context.Context, j *jobs.Job) (any, error) {
+			rep, err := c.Simulate(ctx, *r)
+			if err != nil {
+				return nil, err
+			}
+			j.Advance("", nil)
+			return rep, nil
+		}
+	}
+	if r := req.Suite; r != nil {
+		n++
+		kind, total = "suite", len(r.Scenarios)*len(r.Protocols)
+		run = func(ctx context.Context, j *jobs.Job) (any, error) {
+			return c.SuiteObserved(ctx, *r, func(cell SuiteCell) error {
+				j.Advance("cell", cell)
+				return nil
+			})
+		}
+	}
+	if n != 1 {
+		return JobStatus{}, fmt.Errorf("edmac: SubmitJob: exactly one of Optimize, Simulate or Suite required (got %d)", n)
+	}
+	j, err := store.Submit(kind, total, run)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return jobStatusOf(j.Snapshot()), nil
+}
+
+// JobStatus reports a job's current state and progress.
+func (c *Client) JobStatus(id string) (JobStatus, error) {
+	j, err := c.jobOf(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return jobStatusOf(j.Snapshot()), nil
+}
+
+// Jobs lists every known job's status, oldest first.
+func (c *Client) Jobs() []JobStatus {
+	c.jobsMu.Lock()
+	s := c.jobsStore
+	c.jobsMu.Unlock()
+	if s == nil {
+		return nil
+	}
+	snaps := s.List()
+	out := make([]JobStatus, len(snaps))
+	for i, snap := range snaps {
+		out[i] = jobStatusOf(snap)
+	}
+	return out
+}
+
+// JobResult waits for the job to finish and returns its result — the
+// synchronous method's return value by kind: OptimizeReport,
+// SimulateReport or *SuiteReport. A cancelled job returns
+// ErrJobCancelled, a failed one its execution error (ErrInfeasible
+// keeps its identity), and a done ctx returns the ctx's error without
+// touching the job.
+func (c *Client) JobResult(ctx context.Context, id string) (any, error) {
+	ctx, err := ready(ctx)
+	if err != nil {
+		return nil, err
+	}
+	j, err := c.jobOf(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// JobEvents replays the job's event log from seq `from` and follows it
+// live, delivering each event to fn in order. It returns nil once the
+// terminal event has been delivered, fn's error if fn fails, or ctx's
+// error if the context ends first — so tailing a running job is
+// bounded by the caller's context, never by the job.
+func (c *Client) JobEvents(ctx context.Context, id string, from int, fn func(JobEvent) error) error {
+	ctx, err := ready(ctx)
+	if err != nil {
+		return err
+	}
+	if fn == nil {
+		return fmt.Errorf("edmac: JobEvents needs an event callback")
+	}
+	j, err := c.jobOf(id)
+	if err != nil {
+		return err
+	}
+	return j.Events(ctx, from, func(ev jobs.Event) error {
+		out := JobEvent{
+			Seq: ev.Seq, Type: ev.Type, State: JobState(ev.State),
+			Done: ev.Done, Total: ev.Total, Err: ev.Err,
+		}
+		if cell, ok := ev.Payload.(SuiteCell); ok {
+			out.Cell = &cell
+		}
+		return fn(out)
+	})
+}
+
+// CancelJob requests cancellation: a queued job is cancelled
+// immediately, a running one has its context cancelled and reaches the
+// cancelled state when its work unwinds; cancelling a finished job is
+// a no-op. The returned status is the state observed after the
+// request.
+func (c *Client) CancelJob(id string) (JobStatus, error) {
+	c.jobsMu.Lock()
+	s := c.jobsStore
+	c.jobsMu.Unlock()
+	if s == nil {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	j, ok := s.Cancel(id)
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	return jobStatusOf(j.Snapshot()), nil
+}

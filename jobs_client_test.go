@@ -1,0 +1,238 @@
+package edmac_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	edmac "github.com/edmac-project/edmac"
+)
+
+func suiteJobRequest(t *testing.T, duration float64) edmac.JobRequest {
+	t.Helper()
+	sp, ok := edmac.BuiltinScenario("ring-baseline")
+	if !ok {
+		t.Fatal("ring-baseline missing from the registry")
+	}
+	return edmac.JobRequest{Suite: &edmac.SuiteRequest{
+		Scenarios: []edmac.ScenarioSpec{sp},
+		Protocols: []edmac.Protocol{edmac.XMAC, edmac.LMAC},
+		Options:   edmac.SuiteOptions{Duration: duration, Seed: 1},
+	}}
+}
+
+func waitTerminal(t *testing.T, c *edmac.Client, id string) edmac.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := c.JobStatus(id)
+		if err != nil {
+			t.Fatalf("JobStatus: %v", err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished; last %+v", id, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClientJobSuite mirrors the tentpole contract in-process: a suite
+// submitted as a job streams its cells on the event log and resolves
+// to the same report the synchronous call returns.
+func TestClientJobSuite(t *testing.T) {
+	c, err := edmac.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	req := suiteJobRequest(t, 40)
+
+	st, err := c.SubmitJob(context.Background(), req)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if st.Kind != "suite" || st.Total != 2 || st.ID == "" {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	// Follow the event log to completion: queued → running → two cell
+	// events carrying payloads → done, densely numbered.
+	var evs []edmac.JobEvent
+	if err := c.JobEvents(context.Background(), st.ID, 0, func(ev edmac.JobEvent) error {
+		evs = append(evs, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("JobEvents: %v", err)
+	}
+	cells := 0
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d: %+v", i, ev.Seq, evs)
+		}
+		if ev.Type == "cell" {
+			cells++
+			if ev.Cell == nil || ev.Cell.Scenario != "ring-baseline" {
+				t.Fatalf("cell event without a usable cell: %+v", ev)
+			}
+		}
+	}
+	if cells != 2 || len(evs) != 5 {
+		t.Fatalf("%d events with %d cells, want 5 with 2", len(evs), cells)
+	}
+	if evs[len(evs)-1].State != edmac.JobDone {
+		t.Fatalf("last event state = %q", evs[len(evs)-1].State)
+	}
+
+	res, err := c.JobResult(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("JobResult: %v", err)
+	}
+	got, ok := res.(*edmac.SuiteReport)
+	if !ok {
+		t.Fatalf("result type = %T, want *edmac.SuiteReport", res)
+	}
+	want, err := c.Suite(context.Background(), *req.Suite)
+	if err != nil {
+		t.Fatalf("Suite: %v", err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("job result differs from synchronous Suite:\njob:  %s\nsync: %s", gotJSON, wantJSON)
+	}
+
+	if list := c.Jobs(); len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("Jobs() = %+v", list)
+	}
+}
+
+func TestClientJobOptimizeTyped(t *testing.T) {
+	c, err := edmac.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	st, err := c.SubmitJob(nil, edmac.JobRequest{Optimize: &edmac.OptimizeRequest{
+		Protocol:     edmac.XMAC,
+		Requirements: edmac.Requirements{EnergyBudget: 0.06, MaxDelay: 6},
+	}})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	res, err := c.JobResult(nil, st.ID)
+	if err != nil {
+		t.Fatalf("JobResult: %v", err)
+	}
+	rep, ok := res.(edmac.OptimizeReport)
+	if !ok || len(rep.Result.Bargain.Params) == 0 {
+		t.Fatalf("result = %T %+v", res, res)
+	}
+	if final := waitTerminal(t, c, st.ID); final.Done != 1 || final.Total != 1 {
+		t.Fatalf("progress = %d/%d, want 1/1", final.Done, final.Total)
+	}
+}
+
+func TestClientJobFailureKeepsErrorIdentity(t *testing.T) {
+	c, err := edmac.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	st, err := c.SubmitJob(nil, edmac.JobRequest{Optimize: &edmac.OptimizeRequest{
+		Protocol:     edmac.LMAC,
+		Requirements: edmac.Requirements{EnergyBudget: 0.01, MaxDelay: 6},
+	}})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if _, err := c.JobResult(nil, st.ID); !errors.Is(err, edmac.ErrInfeasible) {
+		t.Fatalf("JobResult error = %v, want ErrInfeasible", err)
+	}
+	if final := waitTerminal(t, c, st.ID); final.State != edmac.JobFailed || final.Err == "" {
+		t.Fatalf("final = %+v, want failed with message", final)
+	}
+}
+
+func TestClientJobCancel(t *testing.T) {
+	c, err := edmac.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	st, err := c.SubmitJob(nil, suiteJobRequest(t, 1e6))
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	// Let it start, then cancel; the simulator aborts within a few
+	// thousand events, so the terminal state arrives promptly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, err := c.JobStatus(st.ID)
+		if err != nil {
+			t.Fatalf("JobStatus: %v", err)
+		}
+		if cur.State == edmac.JobRunning || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := c.CancelJob(st.ID); err != nil {
+		t.Fatalf("CancelJob: %v", err)
+	}
+	if _, err := c.JobResult(nil, st.ID); !errors.Is(err, edmac.ErrJobCancelled) {
+		t.Fatalf("JobResult after cancel = %v, want ErrJobCancelled", err)
+	}
+	if final := waitTerminal(t, c, st.ID); final.State != edmac.JobCancelled {
+		t.Fatalf("final state = %q, want cancelled", final.State)
+	}
+}
+
+func TestClientJobQueueFull(t *testing.T) {
+	c, err := edmac.NewClient(edmac.WithJobs(1, 1, 0))
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	// One long job wedges the single worker, a second fills the
+	// depth-one queue, the third must be refused.
+	if _, err := c.SubmitJob(nil, suiteJobRequest(t, 1e6)); err != nil {
+		t.Fatalf("first SubmitJob: %v", err)
+	}
+	// The worker may claim either job quickly; keep filling until the
+	// queue refuses, bounded by a few attempts.
+	refused := false
+	for i := 0; i < 4; i++ {
+		if _, err := c.SubmitJob(nil, suiteJobRequest(t, 1e6)); errors.Is(err, edmac.ErrJobQueueFull) {
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Fatal("queue never refused admission")
+	}
+}
+
+func TestClientJobValidation(t *testing.T) {
+	c, err := edmac.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.SubmitJob(nil, edmac.JobRequest{}); err == nil {
+		t.Fatal("empty JobRequest accepted")
+	}
+	if _, err := c.JobStatus("nope"); !errors.Is(err, edmac.ErrJobNotFound) {
+		t.Fatalf("JobStatus(nope) = %v, want ErrJobNotFound", err)
+	}
+	if _, err := c.CancelJob("nope"); !errors.Is(err, edmac.ErrJobNotFound) {
+		t.Fatalf("CancelJob(nope) = %v, want ErrJobNotFound", err)
+	}
+	if _, err := c.JobResult(nil, "nope"); !errors.Is(err, edmac.ErrJobNotFound) {
+		t.Fatalf("JobResult(nope) = %v, want ErrJobNotFound", err)
+	}
+}
