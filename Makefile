@@ -2,14 +2,17 @@
 # BENCH_results.json so the perf trajectory of the figure and simulator
 # benchmarks is tracked across PRs; the "seed-baseline" entry records the
 # seed repo and is never overwritten by it. `make bench-gate` fails when
-# the hot simulator benchmark regresses beyond GATE_TOL against the
-# committed "ci-baseline" entry (refresh it with `make bench-baseline`
-# whenever a PR intentionally moves the needle).
+# a hot benchmark regresses beyond GATE_TOL against the committed
+# "ci-baseline" entry — in ns/op, allocs/op, or (for the simulator
+# benchmarks, which report it) events/sec (refresh the baseline with
+# `make bench-baseline` whenever a PR intentionally moves the needle).
+# SimulatorEventRate matches all three channel variants: the perfect,
+# Lossy and Faulty paths are gated together.
 
 GO         ?= go
-BENCH      ?= Figure|Frontier|Sweep|SimValidation|SimulatorEventRate|SimulateBatch|ServeOptimizeCached|JobsSubmitPoll
+BENCH      ?= Figure|Frontier|Sweep|SimValidation|SimulatorEventRate(Lossy|Faulty)?|SimulateBatch|ServeOptimizeCached|JobsSubmitPoll
 BENCHTIME  ?= 1s
-GATE_BENCH ?= SimulatorEventRate|ServeOptimizeCached|JobsSubmitPoll
+GATE_BENCH ?= SimulatorEventRate(Lossy|Faulty)?|ServeOptimizeCached|JobsSubmitPoll
 GATE_TOL   ?= 0.15
 
 FUZZTIME ?= 30s

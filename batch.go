@@ -86,10 +86,29 @@ func simulateBatch(ctx context.Context, s Scenario, runs []BatchRun, workers int
 			out[i].Err = err
 			continue
 		}
+		// One batch = one scenario, and every run's network is the same
+		// deterministic placement — share the first run's network object
+		// across the batch so the materialized world below applies to
+		// every rep. Networks are immutable; results are unchanged.
+		if len(cfgs) > 0 {
+			cfg.Network = cfgs[0].Network
+			net = nets[cfgIdx[0]]
+		}
 		cfgs = append(cfgs, cfg)
 		cfgIdx = append(cfgIdx, i)
 		envs[i] = env
 		nets[i] = net
+	}
+	// Materialize the shared world once: neighbour tables, link tables
+	// and (for LMAC) the slot plan stop being re-derived per rep. Tables
+	// that do not match a particular rep (a different seed's arrivals, a
+	// re-bargained slot count) are ignored by that rep, never misapplied.
+	if len(cfgs) > 0 {
+		if shared, err := sim.Materialize(cfgs[0]); err == nil {
+			for j := range cfgs {
+				cfgs[j].Shared = shared
+			}
+		}
 	}
 	results := sim.RunBatch(ctx, cfgs, workers)
 	for j, br := range results {

@@ -394,6 +394,15 @@ func BenchmarkProtocolExtensions(b *testing.B) {
 
 // --- Scalability of the simulator itself -------------------------------
 
+// reportEventRate turns the runs' accumulated event count into the
+// scheduler-throughput metric the bench ledger tracks alongside ns/op.
+func reportEventRate(b *testing.B, events uint64) {
+	b.Helper()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}
+
 func BenchmarkSimulatorEventRate(b *testing.B) {
 	net, err := topology.Rings(topology.RingModel{Depth: 3, Density: 4})
 	if err != nil {
@@ -403,12 +412,16 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 	s := edmac.Scenario{
 		Depth: 3, Density: 4, SampleInterval: 120, Window: 60, Payload: 32, Radio: "cc2420",
 	}
+	var events uint64
 	for i := 0; i < b.N; i++ {
-		if _, err := edmac.Simulate(edmac.XMAC, s, []float64{0.5},
-			edmac.SimOptions{Duration: 300, Seed: int64(i + 1)}); err != nil {
+		rep, err := edmac.Simulate(edmac.XMAC, s, []float64{0.5},
+			edmac.SimOptions{Duration: 300, Seed: int64(i + 1)})
+		if err != nil {
 			b.Fatal(err)
 		}
+		events += rep.Events
 	}
+	reportEventRate(b, events)
 }
 
 // The same simulator over a lossy, capture-enabled medium (the
@@ -421,10 +434,36 @@ func BenchmarkSimulatorEventRateLossy(b *testing.B) {
 	if !ok {
 		b.Fatal("missing builtin ring-lossy")
 	}
+	var events uint64
 	for i := 0; i < b.N; i++ {
-		if _, err := edmac.SimulateScenario(edmac.XMAC, sp, []float64{0.5},
-			edmac.SimOptions{Duration: 300, Seed: int64(i + 1)}); err != nil {
+		rep, err := edmac.SimulateScenario(edmac.XMAC, sp, []float64{0.5},
+			edmac.SimOptions{Duration: 300, Seed: int64(i + 1)})
+		if err != nil {
 			b.Fatal(err)
 		}
+		events += rep.Events
 	}
+	reportEventRate(b, events)
+}
+
+// The fault-injection hot path: churn plus finite batteries (the
+// ring-attrition builtin) runs the epoch-swap machinery — crashes,
+// recoveries, battery-death timers, re-install of the MAC layer — on
+// top of the same event loop. Gated alongside the perfect and lossy
+// paths so fault bookkeeping can never quietly tax the scheduler.
+func BenchmarkSimulatorEventRateFaulty(b *testing.B) {
+	sp, ok := edmac.BuiltinScenario("ring-attrition")
+	if !ok {
+		b.Fatal("missing builtin ring-attrition")
+	}
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := edmac.SimulateScenario(edmac.XMAC, sp, []float64{0.5},
+			edmac.SimOptions{Duration: 300, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	reportEventRate(b, events)
 }

@@ -55,6 +55,7 @@ func ReplaySurvivors(m *scenario.Materialized, protocol string, req core.Require
 		return nil, err
 	}
 	phased, _ := m.Traffic.(traffic.Phased)
+	meanRate := m.MeanRate() // hoisted: the stationary fallback is epoch-invariant
 	return func(alive []bool, phase int, at float64) (opt.Vector, error) {
 		st := m.Network.SurvivorStats(alive)
 		if st.Reachable == 0 {
@@ -64,7 +65,7 @@ func ReplaySurvivors(m *scenario.Materialized, protocol string, req core.Require
 		if density < 1 {
 			density = 1
 		}
-		rate := m.MeanRate()
+		rate := meanRate
 		if phased.Phases != nil && phase >= 0 && phase < len(phased.Phases) {
 			rate = traffic.MeanNonSinkRate(phased.Phases[phase].Model.MeanRates(m.Network))
 		}

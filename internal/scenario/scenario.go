@@ -481,6 +481,12 @@ type Materialized struct {
 	Flows traffic.NodeFlows
 	// Radio is the resolved transceiver profile.
 	Radio radio.Radio
+
+	// meanRate is MeanRate's aggregation, materialized once at build
+	// time: adaptive runtimes re-read it at every re-bargaining epoch,
+	// and a precomputed value keeps the shared Materialized free of
+	// lazy mutation (it is read concurrently by suite cells).
+	meanRate float64
 }
 
 // ChannelKind returns the link-quality family the spec selects:
@@ -541,13 +547,26 @@ func (s Spec) Materialize() (*Materialized, error) {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	prof, _ := radio.Profile(s.Radio)
-	return &Materialized{Spec: s, Network: net, Traffic: model, Flows: flows, Radio: prof}, nil
+	mat := &Materialized{Spec: s, Network: net, Traffic: model, Flows: flows, Radio: prof}
+	mat.meanRate = meanRateOf(model, net)
+	return mat, nil
 }
 
 // MeanRate returns the average per-node generation rate over the
 // non-sink nodes — the homogeneous rate the analytic ring models see.
+// Materialize precomputes it; a hand-built Materialized (zero
+// meanRate) falls back to aggregating on the fly.
 func (m *Materialized) MeanRate() float64 {
-	rates := m.Traffic.MeanRates(m.Network)
+	if m.meanRate > 0 {
+		return m.meanRate
+	}
+	return meanRateOf(m.Traffic, m.Network)
+}
+
+// meanRateOf aggregates a workload's per-node mean rates over the
+// non-sink population.
+func meanRateOf(model traffic.Model, net *topology.Network) float64 {
+	rates := model.MeanRates(net)
 	sum := 0.0
 	for i := 1; i < len(rates); i++ {
 		sum += rates[i]

@@ -725,6 +725,10 @@ type wireSimReport struct {
 	P95Delay         *float64       `json:"p95_delay,omitempty"`
 	OuterRingDelay   *float64       `json:"outer_ring_delay,omitempty"`
 	BottleneckEnergy float64        `json:"bottleneck_energy"`
+	// Scheduler observability counters (see edmac.SimReport).
+	Events          uint64 `json:"events,omitempty"`
+	PeakPending     int    `json:"peak_pending,omitempty"`
+	WheelPromotions uint64 `json:"wheel_promotions,omitempty"`
 	// Survivability block of fault-injected runs; all omitted on
 	// failure-free ones (see edmac.SimReport).
 	Deaths             int     `json:"deaths,omitempty"`
@@ -757,6 +761,10 @@ func wireSimReportOf(rep edmac.SimReport) wireSimReport {
 		P95Delay:         finiteOrNil(rep.P95Delay),
 		OuterRingDelay:   finiteOrNil(rep.OuterRingDelay),
 		BottleneckEnergy: rep.BottleneckEnergy,
+
+		Events:          rep.Events,
+		PeakPending:     rep.PeakPending,
+		WheelPromotions: rep.WheelPromotions,
 
 		Deaths:             rep.Deaths,
 		Recoveries:         rep.Recoveries,

@@ -254,7 +254,7 @@ func RunFaultyContext(ctx context.Context, cfg Config, phases []PhaseConfig, reb
 		return nil, fmt.Errorf("sim: last phase ends at %v, want the run duration %v", last, cfg.Duration)
 	}
 
-	eng := NewEngine()
+	eng := NewEngineSched(cfg.Scheduler)
 	med := newMediumFor(eng, cfg)
 	metrics := &Metrics{}
 	n := cfg.Network.N()
@@ -278,8 +278,15 @@ func RunFaultyContext(ctx context.Context, cfg Config, phases []PhaseConfig, reb
 	for i := range fs.alive {
 		fs.alive[i] = true
 	}
-	for i := 1; i < n; i++ {
-		fs.arrivals[i] = arrivalSchedule(cfg, topology.NodeID(i))
+	if pre := cfg.Shared.arrivalsFor(&cfg); pre != nil {
+		// The shared world's schedules are exactly arrivalSchedule's
+		// output for this (traffic, seed, duration); the fault runner
+		// only reads them, so sharing is safe.
+		fs.arrivals = pre
+	} else {
+		for i := 1; i < n; i++ {
+			fs.arrivals[i] = arrivalSchedule(cfg, topology.NodeID(i))
+		}
 	}
 	if cfg.Battery != nil {
 		fs.capacity = make([]float64, n)
@@ -442,8 +449,8 @@ func (fs *faultState) firePoint(i int) {
 func (fs *faultState) epoch(now float64) {
 	fs.eng.DropPending()
 	fs.med.quiesce()
-	for i, x := range fs.med.xcvrs {
-		x.halted = !fs.alive[i]
+	for i := range fs.med.halted {
+		fs.med.halted[i] = !fs.alive[i]
 	}
 	fs.refreshPartition()
 	fs.consultRebargain(now)
@@ -482,7 +489,7 @@ func (fs *faultState) consultRebargain(now float64) {
 // unfired failure points rescheduled (the epoch's DropPending discarded
 // all of them along with the old regime's events).
 func (fs *faultState) install(now float64) error {
-	macs, err := buildMACs(fs.cfg.Protocol, fs.params, fs.cfg.Network, fs.nodes)
+	macs, err := buildMACs(fs.cfg.Protocol, fs.params, fs.cfg.Network, fs.nodes, fs.cfg.Shared)
 	if err != nil {
 		if fs.good == nil {
 			return err
@@ -491,7 +498,7 @@ func (fs *faultState) install(now float64) error {
 		// schedule cannot satisfy): degrade to the last-good vector.
 		fs.degraded++
 		fs.params = fs.good
-		if macs, err = buildMACs(fs.cfg.Protocol, fs.params, fs.cfg.Network, fs.nodes); err != nil {
+		if macs, err = buildMACs(fs.cfg.Protocol, fs.params, fs.cfg.Network, fs.nodes, fs.cfg.Shared); err != nil {
 			return err
 		}
 	}
@@ -593,7 +600,7 @@ func (fs *faultState) armDeathTimer(x *Transceiver) {
 		fs.deathTimer[id] = fs.eng.AtCall(fs.eng.Now(), fs.deathCb, fs.nodeArg[id])
 		return
 	}
-	draw := x.prof.Power(x.state)
+	draw := x.prof.Power(x.med.states[x.id])
 	if draw <= 0 {
 		return // this state is free; depletion postponed until the next transition
 	}

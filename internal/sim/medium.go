@@ -57,6 +57,20 @@ type Medium struct {
 	committed  []*transmission // sent but still inside the inter-frame spacing
 	collisions int
 
+	// Hot per-node radio state, structure-of-arrays. The per-frame
+	// loops (startTx/endTx/busy) sweep a node's whole neighbourhood;
+	// keeping each field in its own flat array turns those sweeps into
+	// contiguous cache-line reads instead of pointer chases through
+	// per-node structs. Transceiver is only a handle over index id.
+	states   []radio.State
+	since    []Time
+	halted   []bool // node is dead: the meters are frozen
+	lock     []*transmission
+	lockBad  []bool
+	lockGain []float64 // received power (dB) of locked frame (capture)
+	sending  []*Frame
+	acc      []float64 // seconds per (node, radio.State): acc[id*5+state]
+
 	// Channel state: linkPRR/linkGain/linkRNG[from][k] describe the
 	// directed link from → nbrs[from][k]. All nil on a perfect channel.
 	lossy     bool
@@ -78,12 +92,25 @@ type Medium struct {
 	// every radio-state change so battery-depletion instants stay exact.
 	fault *faultState
 
-	startTxCb func(any) // cached: schedule startTx without a new closure
-	endTxCb   func(any) // cached: schedule endTx without a new closure
+	startTxCb  func(any) // cached: schedule startTx without a new closure
+	finishTxCb func(any) // cached: schedule txDone+endTx without a new closure
+
+	// shared is the run's attached immutable world, nil when the run
+	// was configured without one. It only ever supplies read-only
+	// tables (neighbours, link PRR/gain); all mutable channel state
+	// stays per-run.
+	shared *Materialized
 }
 
 // NewMedium creates the channel and one transceiver per node.
 func NewMedium(eng *Engine, net *topology.Network, prof radio.Radio) *Medium {
+	return newMedium(eng, net, prof, nil)
+}
+
+// newMedium is NewMedium with an optional shared world: a matching
+// Materialized supplies the cached neighbour lists and, later, the
+// link-PRR/gain tables (see enableLoss/ensureGains) — all read-only.
+func newMedium(eng *Engine, net *topology.Network, prof radio.Radio, sh *Materialized) *Medium {
 	n := net.N()
 	m := &Medium{
 		eng:      eng,
@@ -91,20 +118,30 @@ func NewMedium(eng *Engine, net *topology.Network, prof radio.Radio) *Medium {
 		xcvrs:    make([]*Transceiver, n),
 		carriers: make([]int, n),
 		nbrs:     make([][]topology.NodeID, n),
+		states:   make([]radio.State, n),
+		since:    make([]Time, n),
+		halted:   make([]bool, n),
+		lock:     make([]*transmission, n),
+		lockBad:  make([]bool, n),
+		lockGain: make([]float64, n),
+		sending:  make([]*Frame, n),
+		acc:      make([]float64, n*5),
 	}
+	m.shared = sh
+	if sh != nil {
+		m.nbrs = sh.nbrs
+	}
+	handles := make([]Transceiver, n) // one allocation for all handles
 	for i := range m.xcvrs {
-		m.nbrs[i] = net.Neighbors(topology.NodeID(i))
-		x := &Transceiver{
-			id:    topology.NodeID(i),
-			med:   m,
-			prof:  prof,
-			state: radio.Sleep,
+		if sh == nil {
+			m.nbrs[i] = net.Neighbors(topology.NodeID(i))
 		}
-		x.txDoneCb = func(a any) { x.txDone(a.(*Frame)) }
-		m.xcvrs[i] = x
+		m.states[i] = radio.Sleep
+		handles[i] = Transceiver{id: topology.NodeID(i), med: m, prof: prof}
+		m.xcvrs[i] = &handles[i]
 	}
 	m.startTxCb = func(a any) { m.startTx(a.(*transmission)) }
-	m.endTxCb = func(a any) { m.endTx(a.(*transmission)) }
+	m.finishTxCb = func(a any) { m.finishTx(a.(*transmission)) }
 	return m
 }
 
@@ -131,14 +168,23 @@ func (m *Medium) enableLoss(seed int64) {
 		return
 	}
 	m.lossy = true
-	m.linkPRR = make([][]float64, len(m.nbrs))
+	shared := m.shared != nil && m.shared.linkPRR != nil
+	if shared {
+		m.linkPRR = m.shared.linkPRR
+	} else {
+		m.linkPRR = make([][]float64, len(m.nbrs))
+	}
 	m.linkRNG = make([][]channel.DrawStream, len(m.nbrs))
 	for i, nbrs := range m.nbrs {
 		from := topology.NodeID(i)
-		m.linkPRR[i] = make([]float64, len(nbrs))
+		if !shared {
+			m.linkPRR[i] = make([]float64, len(nbrs))
+		}
 		m.linkRNG[i] = make([]channel.DrawStream, len(nbrs))
 		for k, nb := range nbrs {
-			m.linkPRR[i][k] = m.net.LinkPRR(from, nb)
+			if !shared {
+				m.linkPRR[i][k] = m.net.LinkPRR(from, nb)
+			}
 			m.linkRNG[i][k] = channel.NewDrawStream(channel.DirectedLinkSeed(seed, from, nb))
 		}
 	}
@@ -158,6 +204,10 @@ func (m *Medium) enableCapture(thresholdDB float64) {
 // ensureGains caches the per-link gains the capture comparison reads.
 func (m *Medium) ensureGains() {
 	if m.linkGain != nil {
+		return
+	}
+	if m.shared != nil && m.shared.linkGain != nil {
+		m.linkGain = m.shared.linkGain
 		return
 	}
 	m.linkGain = make([][]float64, len(m.nbrs))
@@ -250,22 +300,31 @@ func (m *Medium) startTx(tx *transmission) {
 	m.addInflight(tx)
 	for k, nb := range m.nbrs[tx.from] {
 		m.carriers[nb]++
-		x := m.xcvrs[nb]
 		switch {
-		case x.state == radio.Listen && x.lock == nil:
+		case m.states[nb] == radio.Listen && m.lock[nb] == nil:
 			// Clean channel at a listening node: lock onto the frame.
-			x.lock = tx
-			x.lockBad = false
+			m.lock[nb] = tx
+			m.lockBad[nb] = false
 			if m.capture {
-				x.lockGain = m.linkGain[tx.from][k]
+				m.lockGain[nb] = m.linkGain[tx.from][k]
 			}
-			x.setState(radio.Rx)
-		case x.state == radio.Rx && x.lock != nil:
-			m.overlap(x, tx, k)
+			m.setState(nb, radio.Rx)
+		case m.states[nb] == radio.Rx && m.lock[nb] != nil:
+			m.overlap(nb, tx, k)
 		}
 		// Sleeping or transmitting nodes miss the frame entirely.
 	}
-	m.eng.AtCall(tx.endAt, m.endTxCb, tx)
+}
+
+// finishTx closes a transmission at its end instant: the sender's
+// end-of-transmission upcall runs first (exactly as with a real radio's
+// interrupt), then the medium delivers to receivers and recycles the
+// record. Folding both into one event halves the end-of-frame scheduler
+// traffic — transmissions are ~72% of all events — while preserving the
+// sender-before-receivers order the Send contract promises.
+func (m *Medium) finishTx(tx *transmission) {
+	m.xcvrs[tx.from].txDone(tx.frame)
+	m.endTx(tx)
 }
 
 // overlap resolves a second frame arriving at a receiving node. Without
@@ -281,26 +340,26 @@ func (m *Medium) startTx(tx *transmission) {
 // strongest earlier frame may have left the air by then; accepting that
 // approximation keeps the bookkeeping O(1) per overlap and errs toward
 // corruption, never toward phantom deliveries.)
-func (m *Medium) overlap(x *Transceiver, tx *transmission, k int) {
+func (m *Medium) overlap(nb topology.NodeID, tx *transmission, k int) {
 	if m.capture {
 		newGain := m.linkGain[tx.from][k]
-		if !x.lockBad && x.lockGain >= newGain+m.captureDB {
+		if !m.lockBad[nb] && m.lockGain[nb] >= newGain+m.captureDB {
 			m.captures++
 			return
 		}
-		if newGain >= x.lockGain+m.captureDB {
-			x.lock = tx
-			x.lockBad = false
-			x.lockGain = newGain
+		if newGain >= m.lockGain[nb]+m.captureDB {
+			m.lock[nb] = tx
+			m.lockBad[nb] = false
+			m.lockGain[nb] = newGain
 			m.captures++
 			return
 		}
-		if newGain > x.lockGain {
-			x.lockGain = newGain
+		if newGain > m.lockGain[nb] {
+			m.lockGain[nb] = newGain
 		}
 	}
 	// Overlap corrupts whatever was being received.
-	x.lockBad = true
+	m.lockBad[nb] = true
 	m.collisions++
 }
 
@@ -310,14 +369,13 @@ func (m *Medium) endTx(tx *transmission) {
 	m.dropInflight(tx)
 	for k, nb := range m.nbrs[tx.from] {
 		m.carriers[nb]--
-		x := m.xcvrs[nb]
-		if x.lock != tx {
+		if m.lock[nb] != tx {
 			continue
 		}
-		ok := !x.lockBad
-		x.lock = nil
-		x.lockBad = false
-		x.setState(radio.Listen)
+		ok := !m.lockBad[nb]
+		m.lock[nb] = nil
+		m.lockBad[nb] = false
+		m.setState(nb, radio.Listen)
 		if ok && m.lossy {
 			// Per-receiver delivery draw: the link passes this frame with
 			// probability PRR, from the directed link's own deterministic
@@ -327,8 +385,10 @@ func (m *Medium) endTx(tx *transmission) {
 				m.fades++
 			}
 		}
-		if ok && x.handler != nil {
-			x.handler.OnFrame(tx.frame)
+		if ok {
+			if h := m.xcvrs[nb].handler; h != nil {
+				h.OnFrame(tx.frame)
+			}
 		}
 	}
 	m.freeFrame(tx.frame)
@@ -365,13 +425,13 @@ func (m *Medium) quiesce() {
 	for i := range m.carriers {
 		m.carriers[i] = 0
 	}
-	for _, x := range m.xcvrs {
-		x.lock = nil
-		x.lockBad = false
-		x.sending = nil
+	for i := range m.states {
+		m.lock[i] = nil
+		m.lockBad[i] = false
+		m.sending[i] = nil
 		// Bypass Sleep()'s in-transmission guard: the transmission this
 		// radio was making no longer exists.
-		x.setState(radio.Sleep)
+		m.setState(topology.NodeID(i), radio.Sleep)
 	}
 }
 
@@ -385,7 +445,7 @@ func (m *Medium) busy(id topology.NodeID) bool {
 		return true
 	}
 	for _, nb := range m.nbrs[id] {
-		if m.xcvrs[nb].state == radio.Tx {
+		if m.states[nb] == radio.Tx {
 			return true
 		}
 	}
@@ -395,22 +455,14 @@ func (m *Medium) busy(id topology.NodeID) bool {
 // Transceiver is one node's radio: a state machine over
 // sleep/listen/rx/tx that meters the time spent in every state. MAC
 // implementations drive it and receive upcalls through their
-// FrameHandler.
+// FrameHandler. The handle itself is thin — the mutable radio state
+// lives in the Medium's structure-of-arrays, indexed by id — so MACs
+// keep a stable object API while the per-frame loops stay flat.
 type Transceiver struct {
 	id      topology.NodeID
 	med     *Medium
 	prof    radio.Radio
 	handler FrameHandler
-
-	state    radio.State
-	since    Time
-	halted   bool       // node is dead: the meters are frozen
-	acc      [5]float64 // seconds per radio.State (1-indexed)
-	lock     *transmission
-	lockBad  bool
-	lockGain float64 // received power (dB) of the locked frame (capture)
-	sending  *Frame
-	txDoneCb func(any) // cached: end-of-transmission without a new closure
 }
 
 // SetHandler installs the MAC upcall target; must be called before the
@@ -421,35 +473,39 @@ func (x *Transceiver) SetHandler(h FrameHandler) { x.handler = h }
 func (x *Transceiver) ID() topology.NodeID { return x.id }
 
 // State returns the current radio state.
-func (x *Transceiver) State() radio.State { return x.state }
+func (x *Transceiver) State() radio.State { return x.med.states[x.id] }
 
 // setState accumulates elapsed time and switches state. A halted
 // (dead) radio keeps ticking through states without metering — a
 // powered-off node draws nothing — and on fault-injected runs every
 // transition notifies the battery meter so depletion instants stay
 // exact. Failure-free runs take neither branch.
-func (x *Transceiver) setState(s radio.State) {
-	now := x.med.eng.Now()
-	if !x.halted {
-		x.acc[x.state] += now - x.since
+func (m *Medium) setState(id topology.NodeID, s radio.State) {
+	now := m.eng.Now()
+	if !m.halted[id] {
+		m.acc[int(id)*5+int(m.states[id])] += now - m.since[id]
 	}
-	x.since = now
-	x.state = s
-	if f := x.med.fault; f != nil {
-		f.onState(x)
+	m.since[id] = now
+	m.states[id] = s
+	if f := m.fault; f != nil {
+		f.onState(m.xcvrs[id])
 	}
 }
+
+// setState is the handle-level view of Medium.setState.
+func (x *Transceiver) setState(s radio.State) { x.med.setState(x.id, s) }
 
 // Sleep powers the radio down, aborting any reception in progress. It
 // is a no-op while transmitting: the frame finishes first and the MAC
 // decides again in OnTxDone.
 func (x *Transceiver) Sleep() {
-	if x.state == radio.Tx {
+	m := x.med
+	if m.states[x.id] == radio.Tx {
 		return
 	}
-	x.lock = nil
-	x.lockBad = false
-	x.setState(radio.Sleep)
+	m.lock[x.id] = nil
+	m.lockBad[x.id] = false
+	m.setState(x.id, radio.Sleep)
 }
 
 // Listen turns the receiver on (idle listening). If a neighbour started
@@ -459,17 +515,18 @@ func (x *Transceiver) Sleep() {
 // which is the mechanism low-power listening relies on. No-op while
 // receiving or transmitting.
 func (x *Transceiver) Listen() {
-	if x.state == radio.Listen || x.state == radio.Rx || x.state == radio.Tx {
+	s := x.med.states[x.id]
+	if s == radio.Listen || s == radio.Rx || s == radio.Tx {
 		return
 	}
-	x.setState(radio.Listen)
-	x.med.midLock(x)
+	x.med.setState(x.id, radio.Listen)
+	x.med.midLock(x.id)
 }
 
 // midLock locks a freshly listening node onto an audible in-flight
 // preamble, unless several carriers overlap (then nothing is decodable).
-func (m *Medium) midLock(x *Transceiver) {
-	if m.carriers[x.id] != 1 {
+func (m *Medium) midLock(id topology.NodeID) {
+	if m.carriers[id] != 1 {
 		return
 	}
 	for _, tx := range m.inflight {
@@ -477,13 +534,13 @@ func (m *Medium) midLock(x *Transceiver) {
 			continue
 		}
 		for k, nb := range m.nbrs[tx.from] {
-			if nb == x.id {
-				x.lock = tx
-				x.lockBad = false
+			if nb == id {
+				m.lock[id] = tx
+				m.lockBad[id] = false
 				if m.capture {
-					x.lockGain = m.linkGain[tx.from][k]
+					m.lockGain[id] = m.linkGain[tx.from][k]
 				}
-				x.setState(radio.Rx)
+				m.setState(id, radio.Rx)
 				return
 			}
 		}
@@ -512,22 +569,21 @@ func (x *Transceiver) Send(f *Frame) {
 	if f.pooled {
 		panic("Send of pooled frame")
 	}
-	x.lock = nil
-	x.lockBad = false
-	x.setState(radio.Tx)
-	x.sending = f
-	// Both the sender's end-of-transmission upcall and the medium's
-	// delivery run at the same instant; computing it once makes the two
-	// timestamps bit-identical, so scheduling order decides: txDone was
-	// scheduled first and fires first — the sender learns its frame left
-	// the air before receivers process it, exactly as with a real
-	// radio's end-of-transmission interrupt.
+	m := x.med
+	m.lock[x.id] = nil
+	m.lockBad[x.id] = false
+	m.setState(x.id, radio.Tx)
+	m.sending[x.id] = f
+	// The sender's end-of-transmission upcall and the medium's delivery
+	// run at the same instant inside one finishTx event: txDone first —
+	// the sender learns its frame left the air before receivers process
+	// it, exactly as with a real radio's end-of-transmission interrupt.
 	start := x.med.eng.Now() + interFrameSpacing
 	end := start + x.prof.FrameAirtime(f.Bytes)
 	tx := x.med.newTransmission(f, x.id, end)
 	x.med.committed = append(x.med.committed, tx)
 	x.med.eng.AtCall(start, x.med.startTxCb, tx)
-	x.med.eng.AtCall(end, x.txDoneCb, f)
+	x.med.eng.AtCall(end, x.med.finishTxCb, tx)
 }
 
 // txDone closes the sender side of a transmission.
@@ -535,8 +591,8 @@ func (x *Transceiver) txDone(f *Frame) {
 	if f.pooled {
 		panic("txDone on pooled frame")
 	}
-	x.sending = nil
-	x.setState(radio.Listen)
+	x.med.sending[x.id] = nil
+	x.med.setState(x.id, radio.Listen)
 	if x.handler != nil {
 		x.handler.OnTxDone(f)
 	}
@@ -546,16 +602,16 @@ func (x *Transceiver) txDone(f *Frame) {
 func (x *Transceiver) Airtime(bytes int) float64 { return x.prof.FrameAirtime(bytes) }
 
 // finish closes the energy accounting at the current time.
-func (x *Transceiver) finish() { x.setState(x.state) }
+func (x *Transceiver) finish() { x.med.setState(x.id, x.med.states[x.id]) }
 
 // TimeIn returns the seconds spent in state s so far.
-func (x *Transceiver) TimeIn(s radio.State) float64 { return x.acc[s] }
+func (x *Transceiver) TimeIn(s radio.State) float64 { return x.med.acc[int(x.id)*5+int(s)] }
 
 // Energy returns the joules consumed so far: Σ time(state) × power.
 func (x *Transceiver) Energy() float64 {
 	total := 0.0
 	for _, s := range []radio.State{radio.Sleep, radio.Listen, radio.Rx, radio.Tx} {
-		total += x.acc[s] * x.prof.Power(s)
+		total += x.med.acc[int(x.id)*5+int(s)] * x.prof.Power(s)
 	}
 	return total
 }

@@ -67,13 +67,13 @@ type node struct {
 }
 
 func newNode(eng *Engine, net *topology.Network, med *Medium, id topology.NodeID,
-	rng *rand.Rand, metrics *Metrics, payload int) *node {
+	parent topology.NodeID, rng *rand.Rand, metrics *Metrics, payload int) *node {
 	return &node{
 		eng:         eng,
 		net:         net,
 		x:           med.Transceiver(id),
 		id:          id,
-		parent:      net.Parent(id),
+		parent:      parent,
 		rng:         rng,
 		metrics:     metrics,
 		dataBytes:   payload + macmodel.DataHeaderBytes,

@@ -73,26 +73,30 @@ func RunPhasedContext(ctx context.Context, cfg Config, phases []PhaseConfig) (*R
 		return nil, fmt.Errorf("sim: last phase ends at %v, want the run duration %v", last, cfg.Duration)
 	}
 
-	eng := NewEngine()
+	eng := NewEngineSched(cfg.Scheduler)
 	med := newMediumFor(eng, cfg)
 	metrics := &Metrics{}
 	n := cfg.Network.N()
 	nodes := buildNodes(cfg, eng, med, metrics)
 
 	// The full arrival schedule of every node, deterministic in the
-	// seed; each epoch schedules only its own slice, so the generator
-	// chain never crosses a boundary and the boundary drop cannot eat a
-	// pending sample.
-	arrivals := make([][]float64, n)
-	next := make([]int, n)
-	for i := 1; i < n; i++ {
-		arrivals[i] = cfg.Traffic.Arrivals(cfg.Network, topology.NodeID(i), cfg.Seed, cfg.Duration)
+	// seed — shared from the attached world when it matches, derived
+	// fresh otherwise; each epoch schedules only its own slice, so the
+	// generator chain never crosses a boundary and the boundary drop
+	// cannot eat a pending sample.
+	arrivals := cfg.Shared.arrivalsFor(&cfg)
+	if arrivals == nil {
+		arrivals = make([][]float64, n)
+		for i := 1; i < n; i++ {
+			arrivals[i] = cfg.Traffic.Arrivals(cfg.Network, topology.NodeID(i), cfg.Seed, cfg.Duration)
+		}
 	}
+	next := make([]int, n)
 
 	var nextID int64
 	arena := &packetArena{}
 	for k, ph := range phases {
-		macs, err := buildMACs(cfg.Protocol, ph.Params, cfg.Network, nodes)
+		macs, err := buildMACs(cfg.Protocol, ph.Params, cfg.Network, nodes, cfg.Shared)
 		if err != nil {
 			return nil, fmt.Errorf("sim: phase %d: %w", k, err)
 		}

@@ -56,6 +56,18 @@ type Config struct {
 	// Battery optionally gives every non-sink node a finite energy
 	// store; a node dies permanently when its residual hits zero.
 	Battery *BatteryConfig
+	// Scheduler selects the engine's event-queue implementation. The
+	// zero value is the timing wheel; SchedulerHeap keeps the reference
+	// min-heap available for differential testing. Both implement the
+	// identical (at, seq) total order, so the choice never changes
+	// results — only the constant factors of the event loop.
+	Scheduler SchedulerKind
+	// Shared optionally attaches a pre-built immutable world (see
+	// Materialize) so repeated runs over the same scenario skip
+	// re-deriving neighbour tables, link tables, slot plans and arrival
+	// schedules. Tables that do not match this config are ignored, so a
+	// mismatched Shared never changes results.
+	Shared *Materialized
 }
 
 // Validate reports whether the configuration is runnable.
@@ -120,6 +132,14 @@ type Result struct {
 	Captures int
 	// Events is the number of simulator events processed.
 	Events uint64
+	// PeakPending is the high-water mark of the scheduler's pending
+	// event count — how deep the event queue ever got.
+	PeakPending int
+	// WheelPromotions counts events that landed beyond the timing
+	// wheel's one-second horizon and were later promoted into the
+	// wheel in bulk. Always 0 under SchedulerHeap; near 0 on healthy
+	// duty-cycle workloads.
+	WheelPromotions uint64
 	// Energy[i] is node i's consumption over the whole run, in joules.
 	Energy []float64
 	// ListenTime[i] is node i's idle-listen + receive time in seconds
@@ -215,13 +235,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		// never take this branch, keeping their event trace byte-stable.
 		return RunFaultyContext(ctx, cfg, nil, nil)
 	}
-	eng := NewEngine()
+	eng := NewEngineSched(cfg.Scheduler)
 	med := newMediumFor(eng, cfg)
 	metrics := &Metrics{}
 
 	n := cfg.Network.N()
 	nodes := buildNodes(cfg, eng, med, metrics)
-	macs, err := buildMACs(cfg.Protocol, cfg.Params, cfg.Network, nodes)
+	macs, err := buildMACs(cfg.Protocol, cfg.Params, cfg.Network, nodes, cfg.Shared)
 	if err != nil {
 		return nil, err
 	}
@@ -231,10 +251,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	var nextID int64
 	arena := &packetArena{}
+	pre := cfg.Shared.arrivalsFor(&cfg)
 	for i, mac := range macs {
 		mac.start()
 		if cfg.Traffic != nil {
-			newScheduledGenerator(eng, cfg, macs[i], topology.NodeID(i), metrics, &nextID, arena)
+			newScheduledGenerator(eng, cfg, pre, macs[i], topology.NodeID(i), metrics, &nextID, arena)
 		} else {
 			newNodeGenerator(eng, cfg, macs[i], cfg.Network, topology.NodeID(i), metrics, &nextID, arena)
 		}
@@ -249,9 +270,16 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 // newMediumFor builds the run's medium with the configured channel
 // behaviour: per-link delivery draws when the network carries lossy
 // links, power capture when requested. Run and RunPhased share it, so
-// the two runners can never disagree on the channel.
+// the two runners can never disagree on the channel. A matching
+// cfg.Shared supplies the neighbour and link-PRR/gain tables; the
+// per-directed-link draw streams are always fresh (they are per-seed
+// mutable state, never shared).
 func newMediumFor(eng *Engine, cfg Config) *Medium {
-	med := NewMedium(eng, cfg.Network, cfg.Radio)
+	var sh *Materialized
+	if cfg.Shared.structuralFor(&cfg) {
+		sh = cfg.Shared
+	}
+	med := newMedium(eng, cfg.Network, cfg.Radio, sh)
 	med.enableLoss(cfg.Seed)
 	if cfg.Capture {
 		med.enableCapture(cfg.CaptureDB)
@@ -267,9 +295,14 @@ func newMediumFor(eng *Engine, cfg Config) *Medium {
 func buildNodes(cfg Config, eng *Engine, med *Medium, metrics *Metrics) []*node {
 	n := cfg.Network.N()
 	nodes := make([]*node, n)
+	parent := cfg.Network.Parent
+	if cfg.Shared.structuralFor(&cfg) {
+		parents := cfg.Shared.parents
+		parent = func(id topology.NodeID) topology.NodeID { return parents[id] }
+	}
 	for i := 0; i < n; i++ {
 		nodeRng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1000003 + 1))
-		nodes[i] = newNode(eng, cfg.Network, med, topology.NodeID(i), nodeRng, metrics, cfg.Payload)
+		nodes[i] = newNode(eng, cfg.Network, med, topology.NodeID(i), parent(topology.NodeID(i)), nodeRng, metrics, cfg.Payload)
 	}
 	return nodes
 }
@@ -277,22 +310,33 @@ func buildNodes(cfg Config, eng *Engine, med *Medium, metrics *Metrics) []*node 
 // buildMACs constructs one protocol instance per node over the shared
 // node state. Run uses it once; RunPhased calls it at every epoch
 // boundary with the next parameter vector, reusing the same nodes so
-// queues, randomness streams and metrics carry across the swap.
-func buildMACs(protocol string, params opt.Vector, net *topology.Network, nodes []*node) ([]macLayer, error) {
+// queues, randomness streams and metrics carry across the swap. A
+// matching sh supplies the LMAC slot plan (AssignSlots is the one
+// expensive derivation here); epochs that re-bargain onto a different
+// slot count recompute their own.
+func buildMACs(protocol string, params opt.Vector, net *topology.Network, nodes []*node, sh *Materialized) ([]macLayer, error) {
 	n := net.N()
 	// LMAC needs a global two-hop conflict-free schedule.
 	var slots []int
 	var bySlot map[int]topology.NodeID
 	if protocol == "lmac" {
 		frameSlots := int(math.Round(params[0]))
-		var err error
-		slots, _, err = net.AssignSlots(frameSlots)
-		if err != nil {
-			return nil, fmt.Errorf("sim: lmac schedule: %w", err)
+		if sh != nil && sh.net == net {
+			slots, bySlot = sh.slots, sh.bySlot
+			if sh.slotsFor != frameSlots {
+				slots, bySlot = nil, nil
+			}
 		}
-		bySlot = make(map[int]topology.NodeID, n)
-		for id, s := range slots {
-			bySlot[s] = topology.NodeID(id)
+		if slots == nil {
+			var err error
+			slots, _, err = net.AssignSlots(frameSlots)
+			if err != nil {
+				return nil, fmt.Errorf("sim: lmac schedule: %w", err)
+			}
+			bySlot = make(map[int]topology.NodeID, n)
+			for id, s := range slots {
+				bySlot[s] = topology.NodeID(id)
+			}
 		}
 	}
 	macs := make([]macLayer, n)
@@ -314,15 +358,17 @@ func buildMACs(protocol string, params opt.Vector, net *topology.Network, nodes 
 // collectResult assembles the public result after the engine drained.
 func collectResult(duration float64, eng *Engine, med *Medium, metrics *Metrics, n int) *Result {
 	res := &Result{
-		Duration:      duration,
-		Metrics:       metrics,
-		Collisions:    med.Collisions(),
-		ChannelLosses: med.ChannelLosses(),
-		Captures:      med.Captures(),
-		Events:        eng.Processed(),
-		Energy:        make([]float64, n),
-		ListenTime:    make([]float64, n),
-		TxTime:        make([]float64, n),
+		Duration:        duration,
+		Metrics:         metrics,
+		Collisions:      med.Collisions(),
+		ChannelLosses:   med.ChannelLosses(),
+		Captures:        med.Captures(),
+		Events:          eng.Processed(),
+		PeakPending:     eng.PeakPending(),
+		WheelPromotions: eng.OverflowPromotions(),
+		Energy:          make([]float64, n),
+		ListenTime:      make([]float64, n),
+		TxTime:          make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
 		x := med.Transceiver(topology.NodeID(i))
@@ -360,16 +406,23 @@ func newNodeGenerator(eng *Engine, cfg Config, mac macLayer, net *topology.Netwo
 
 // newScheduledGenerator replays one node's precomputed traffic-model
 // arrival schedule. The whole schedule is materialized up front (it is
-// deterministic in cfg.Seed), then walked by scheduleArrivals' chained
-// callback, so steady-state generation allocates nothing beyond the
-// schedule slice. (At time zero, scheduleArrivals' first delta
-// times[0]-Now() is bit-identical to times[0].)
-func newScheduledGenerator(eng *Engine, cfg Config, mac macLayer,
+// deterministic in cfg.Seed) — or taken from the shared world's
+// pre slices when the caller holds a matching Materialized — then
+// walked by scheduleArrivals' chained callback, so steady-state
+// generation allocates nothing beyond the schedule slice. (At time
+// zero, scheduleArrivals' first delta times[0]-Now() is bit-identical
+// to times[0].)
+func newScheduledGenerator(eng *Engine, cfg Config, pre [][]float64, mac macLayer,
 	id topology.NodeID, metrics *Metrics, nextID *int64, arena *packetArena) {
 	if id == 0 {
 		return
 	}
-	times := cfg.Traffic.Arrivals(cfg.Network, id, cfg.Seed, cfg.Duration)
+	var times []float64
+	if pre != nil {
+		times = pre[id]
+	} else {
+		times = cfg.Traffic.Arrivals(cfg.Network, id, cfg.Seed, cfg.Duration)
+	}
 	if len(times) == 0 {
 		return
 	}

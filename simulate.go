@@ -75,6 +75,17 @@ type SimReport struct {
 	// of ring-1 nodes, in joules — comparable to Result energies.
 	BottleneckEnergy float64 `json:"bottleneck_energy"`
 
+	// Scheduler observability — the engine's own counters, surfaced so
+	// load and capacity tooling can reason in events/second instead of
+	// wall clock. Events counts processed simulator events, PeakPending
+	// the event queue's high-water mark, WheelPromotions the events
+	// that landed beyond the timing wheel's horizon and were bulk
+	// promoted later (0 under the reference heap scheduler, near 0 on
+	// healthy duty-cycle workloads). All omitted when zero.
+	Events          uint64 `json:"events,omitempty"`
+	PeakPending     int    `json:"peak_pending,omitempty"`
+	WheelPromotions uint64 `json:"wheel_promotions,omitempty"`
+
 	// Survivability block — populated only by fault-injected runs
 	// (version-4 scenarios with failures or battery blocks) and omitted
 	// everywhere else, so failure-free reports are byte-identical to
@@ -189,6 +200,9 @@ func simReportOf(p Protocol, params []float64, seed int64, outer int, window flo
 			return net.Ring(id) == outer
 		}),
 		BottleneckEnergy: res.MeanRingEnergyPerWindow(net, 1, window),
+		Events:           res.Events,
+		PeakPending:      res.PeakPending,
+		WheelPromotions:  res.WheelPromotions,
 	}
 	// Survivability counters are all zero on failure-free runs and the
 	// fields then omit from JSON, keeping legacy reports byte-stable.

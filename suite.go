@@ -429,6 +429,15 @@ func runSuiteCell(ctx context.Context, spec scenario.Spec, mat *scenario.Materia
 		CaptureDB: captureDB,
 	}
 	cfg.Failures, cfg.Battery = faultConfigOf(spec)
+	// Materialize the cell's immutable world once — neighbour tables,
+	// link-PRR/gain tables, the LMAC slot plan and the full per-node
+	// arrival schedules — and share it between the static baseline and
+	// the adaptive re-run below, which differ in parameters only. A
+	// failed materialization just falls back to per-run derivation; the
+	// run itself will surface any real config error.
+	if shared, err := sim.Materialize(cfg); err == nil {
+		cfg.Shared = shared
+	}
 	simRes, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		cell.Err = err.Error()

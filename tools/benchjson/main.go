@@ -36,6 +36,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// EventsPerSec is the simulator benchmarks' custom throughput
+	// metric (b.ReportMetric "events/sec"); 0 when a benchmark does
+	// not report it. Higher is better, unlike every column above.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // Entry is one labelled benchmark run.
@@ -45,11 +49,18 @@ type Entry struct {
 	Results    []Result `json:"results"`
 }
 
-// benchLine matches e.g.
+// benchLine matches the head of e.g.
 //
 //	BenchmarkFigure1XMAC-8   572   1836907 ns/op   455000 B/op   25093 allocs/op
+//
+// Custom metrics (events/sec) and the -benchmem columns can appear in
+// any combination after ns/op, so they are extracted separately.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+var memCols = regexp.MustCompile(`([\d.]+) B/op\s+(\d+) allocs/op`)
+
+var eventsCol = regexp.MustCompile(`([\d.]+) events/sec`)
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output ledger file")
@@ -72,9 +83,12 @@ func main() {
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
 		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		if mm := memCols.FindStringSubmatch(line); mm != nil {
+			r.BytesPerOp, _ = strconv.ParseFloat(mm[1], 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(mm[2], 10, 64)
+		}
+		if em := eventsCol.FindStringSubmatch(line); em != nil {
+			r.EventsPerSec, _ = strconv.ParseFloat(em[1], 64)
 		}
 		results = append(results, r)
 	}
@@ -133,6 +147,7 @@ func main() {
 type metric struct {
 	ns     float64
 	allocs int64
+	events float64 // best (max) events/sec; 0 when not reported
 }
 
 // minByName reduces result lines to per-benchmark minima.
@@ -148,6 +163,9 @@ func minByName(results []Result, match *regexp.Regexp) map[string]metric {
 		}
 		if !ok || r.AllocsPerOp < m.allocs {
 			m.allocs = r.AllocsPerOp
+		}
+		if r.EventsPerSec > m.events {
+			m.events = r.EventsPerSec
 		}
 		mins[r.Name] = m
 	}
@@ -178,6 +196,16 @@ func checkGate(baseline, current []Result, match *regexp.Regexp, tol float64, ga
 			fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: %.0f ns/op vs baseline %.0f (%+.1f%% > %.0f%%)\n",
 				name, c.ns, b.ns, 100*(nsRatio-1), 100*tol)
 			benchOK = false
+		}
+		// events/sec is higher-better; gate it only when the baseline
+		// recorded the metric, so ledgers predating it stay gateable.
+		if b.events > 0 && c.events > 0 {
+			evRatio := c.events / b.events
+			if evRatio < 1-tol {
+				fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: %.0f events/sec vs baseline %.0f (%+.1f%% < -%.0f%%)\n",
+					name, c.events, b.events, 100*(evRatio-1), 100*tol)
+				benchOK = false
+			}
 		}
 		if b.allocs > 0 {
 			allocRatio := float64(c.allocs) / float64(b.allocs)
