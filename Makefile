@@ -17,7 +17,7 @@ GATE_TOL   ?= 0.15
 
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt fuzz bench bench-gate bench-baseline suite golden suite-golden check
+.PHONY: build test race vet fmt lint fuzz bench bench-gate bench-baseline suite golden suite-golden check fix-check
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,19 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 	  echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: fmt vet build test
+# The repo's own analyzer suite (cmd/edvet): deterministic core,
+# frame lifetimes, wire tags, context discipline, hot-path allocation
+# hygiene. Non-zero on any diagnostic, including malformed or
+# unexplained //edvet:ignore directives. See the README's "Invariants
+# & static analysis" section.
+lint: vet
+	$(GO) run ./cmd/edvet ./...
+
+check: fmt lint build test
+
+# What to run before pushing a fix: format gate, vet + edvet, build,
+# tests. Alias of check, named for intent.
+fix-check: check
 
 # Fuzz the strict scenario parser (bump FUZZTIME for longer local
 # campaigns; CI runs the default as a smoke job). Crashers land in

@@ -1,0 +1,145 @@
+// Command edvet is the repo's own static-analysis suite: it
+// mechanically enforces the invariants no compiler checks and tests
+// alone would let erode — deterministic replay in the simulator core
+// (detrand), medium-owned frame lifetimes (framescope), the frozen
+// snake_case JSON wire surface (jsonwire), context discipline
+// (ctxfirst) and hot-path allocation hygiene (hotalloc). See the
+// README's "Invariants & static analysis" section for what each
+// analyzer guards and which PR established the invariant.
+//
+// Usage:
+//
+//	edvet [-list] [packages]
+//
+// With no arguments (or "./...") every package of the module is
+// analyzed. Package arguments are module-relative directories
+// (./internal/sim) or full import paths. Diagnostics print one per
+// line; every //edvet:ignore suppression is echoed in a summary so
+// exceptions stay visible. The exit status is non-zero on any
+// diagnostic, including malformed or unexplained ignore directives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/edmac-project/edmac/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: edvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edvet:", err)
+		os.Exit(2)
+	}
+
+	paths, err := resolvePatterns(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edvet:", err)
+		os.Exit(2)
+	}
+
+	res, err := lint.Run(root, paths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edvet:", err)
+		os.Exit(2)
+	}
+
+	for _, d := range res.Diags {
+		fmt.Println(relativize(root, d))
+	}
+	printIgnoreSummary(res)
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "edvet: %d diagnostic(s)\n", len(res.Diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// resolvePatterns maps command-line package arguments to import paths.
+// An empty argument list or "./..." selects every module package.
+func resolvePatterns(root string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	mod, err := lint.ModulePathOf(root)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, a := range args {
+		switch {
+		case a == "./..." || a == "...":
+			return nil, nil // all packages
+		case strings.HasPrefix(a, mod):
+			paths = append(paths, a)
+		default:
+			rel := filepath.ToSlash(filepath.Clean(a))
+			rel = strings.TrimPrefix(rel, "./")
+			if rel == "." {
+				paths = append(paths, mod)
+			} else {
+				paths = append(paths, mod+"/"+rel)
+			}
+		}
+	}
+	return paths, nil
+}
+
+// relativize shortens diagnostic file paths to module-relative form.
+func relativize(root string, d lint.Diagnostic) string {
+	s := d.String()
+	prefix := root + string(filepath.Separator)
+	return strings.ReplaceAll(s, prefix, "")
+}
+
+// printIgnoreSummary echoes every suppression so they stay visible in
+// each run's output instead of accumulating silently.
+func printIgnoreSummary(res *lint.Result) {
+	if len(res.Ignores) == 0 {
+		return
+	}
+	fmt.Printf("edvet: %d suppression(s) in effect:\n", len(res.Ignores))
+	for _, ig := range res.Ignores {
+		state := ""
+		if !ig.Used {
+			state = " [unused]"
+		}
+		fmt.Printf("  %s:%d: %s: %s%s\n", filepath.Base(ig.File), ig.Line, ig.Analyzer, ig.Reason, state)
+	}
+}

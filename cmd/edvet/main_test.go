@@ -1,0 +1,44 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/edmac-project/edmac/internal/lint"
+)
+
+func TestResolvePatterns(t *testing.T) {
+	root := filepath.Join("..", "..")
+	mod, err := lint.ModulePathOf(root)
+	if err != nil {
+		t.Fatalf("ModulePathOf: %v", err)
+	}
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{nil, nil},
+		{[]string{"./..."}, nil},
+		{[]string{"..."}, nil},
+		{[]string{"."}, []string{mod}},
+		{[]string{"./internal/sim"}, []string{mod + "/internal/sim"}},
+		{[]string{"internal/sim", "cmd/edvet"}, []string{mod + "/internal/sim", mod + "/cmd/edvet"}},
+		{[]string{mod + "/internal/serve"}, []string{mod + "/internal/serve"}},
+	}
+	for _, c := range cases {
+		got, err := resolvePatterns(root, c.args)
+		if err != nil {
+			t.Errorf("resolvePatterns(%v): %v", c.args, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("resolvePatterns(%v) = %v, want %v", c.args, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("resolvePatterns(%v)[%d] = %q, want %q", c.args, i, got[i], c.want[i])
+			}
+		}
+	}
+}

@@ -311,6 +311,7 @@ func (j *Job) Events(ctx context.Context, from int, fn func(Event) error) error 
 type Store struct {
 	opts Options
 
+	//edvet:ignore ctxfirst lifecycle context of the worker pool, cancelled in Close — not a request context
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
@@ -321,6 +322,12 @@ type Store struct {
 
 	queue chan *Job
 	wg    sync.WaitGroup
+
+	// now supplies job timestamps (created/started/finished) and the
+	// janitor's cutoff; replaceable in tests so TTL expiry is testable
+	// without sleeping. These are wall-clock telemetry for clients, not
+	// simulation time — the deterministic core never sees them.
+	now func() time.Time
 }
 
 // New builds a store, reloads any spilled jobs from Options.SpillDir,
@@ -335,6 +342,7 @@ func New(o Options) (*Store, error) {
 		jobs:       map[string]*Job{},
 		counts:     map[State]int{},
 		queue:      make(chan *Job, o.Queue),
+		now:        time.Now,
 	}
 	if o.SpillDir != "" {
 		if err := s.reload(); err != nil {
@@ -422,7 +430,7 @@ func (s *Store) register(kind string, total int, st State) (*Job, error) {
 	j := &Job{
 		id: id, kind: kind, store: s,
 		state: st, total: total,
-		created: time.Now(),
+		created: s.now(),
 		wake:    make(chan struct{}),
 	}
 	j.mu.Lock()
@@ -544,7 +552,7 @@ func (s *Store) execute(j *Job) {
 	}
 	prev := j.state
 	j.state = Running
-	j.started = time.Now()
+	j.started = s.now()
 	j.cancel = cancel
 	j.appendLocked(Event{Type: "state", State: Running})
 	j.mu.Unlock()
@@ -580,7 +588,7 @@ func (s *Store) finish(j *Job, result any, err error) {
 	j.state = final
 	j.result = result
 	j.err = err
-	j.finished = time.Now()
+	j.finished = s.now()
 	ev := Event{Type: "state", State: final}
 	if err != nil {
 		ev.Err = err.Error()
@@ -610,7 +618,7 @@ func (s *Store) janitor() {
 	for {
 		select {
 		case <-t.C:
-			s.GC(time.Now())
+			s.GC(s.now())
 		case <-s.baseCtx.Done():
 			return
 		}

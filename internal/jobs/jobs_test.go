@@ -227,6 +227,25 @@ func TestTTLGC(t *testing.T) {
 	}
 }
 
+// TestInjectedClock: job timestamps flow from the store's injected
+// clock, so retention expiry is testable without sleeping.
+func TestInjectedClock(t *testing.T) {
+	s := newStore(t, Options{Workers: 1})
+	base := time.Unix(1700000000, 0)
+	s.now = func() time.Time { return base }
+	j, err := s.Complete("cached", 1, "hit")
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	snap := j.Snapshot()
+	if !snap.Created.Equal(base) || !snap.Finished.Equal(base) {
+		t.Fatalf("timestamps = created %v / finished %v, want the injected instant", snap.Created, snap.Finished)
+	}
+	if n := s.GC(base.Add(DefaultTTL + time.Second)); n != 1 {
+		t.Fatalf("GC past the TTL dropped %d jobs, want 1", n)
+	}
+}
+
 // TestSpillReload: a finished job's result survives a store restart
 // byte-for-byte (the crash-safety contract), restored as raw bytes.
 func TestSpillReload(t *testing.T) {

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxfirst guards the context discipline PR 5's Client redesign
+// established: cancellation is threaded end-to-end as an explicit first
+// parameter — (ctx, Request) → (Report, error) — and never smuggled
+// through struct state, where it outlives the call that created it and
+// silently decouples cancellation from the work it was meant to bound.
+var Ctxfirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context is the first parameter and is never stored in a struct",
+	Run:  runCtxfirst,
+}
+
+func runCtxfirst(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				out = append(out, checkCtxParams(p, n.Name.Name, n.Type)...)
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					ft, ok := m.Type.(*ast.FuncType)
+					if !ok || len(m.Names) == 0 {
+						continue
+					}
+					out = append(out, checkCtxParams(p, m.Names[0].Name, ft)...)
+				}
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if isContextType(p.Info.TypeOf(field.Type)) {
+						out = append(out, diag(p, field.Pos(), "ctxfirst",
+							"struct field stores a context.Context; pass it per call instead — stored contexts outlive their cancellation scope"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkCtxParams flags context.Context parameters at any position but
+// the first.
+func checkCtxParams(p *Package, fname string, ft *ast.FuncType) []Diagnostic {
+	var out []Diagnostic
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(p.Info.TypeOf(field.Type)) && idx > 0 {
+			out = append(out, diag(p, field.Pos(), "ctxfirst",
+				"%s takes context.Context at position %d; it must be the first parameter", fname, idx+1))
+		}
+		idx += n
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

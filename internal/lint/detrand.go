@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand guards the byte-for-byte replay contract (established by PR 1
+// and load-bearing ever since: the suite golden, the scheduler
+// differential test and the bench gate all depend on runs being a pure
+// function of their seed). Inside the deterministic core it flags the
+// three classic leaks of nondeterminism:
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until),
+//   - the globally seeded math/rand top-level functions (all randomness
+//     must flow through seeded splitmix or *rand.Rand streams threaded
+//     from the run seed),
+//   - ranging over a map, whose iteration order differs per run — fatal
+//     wherever the loop feeds event order or serialized output. Loops
+//     that are genuinely order-insensitive (commutative reductions)
+//     carry an explained //edvet:ignore.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "no wall clock, global math/rand, or map-order dependence in the deterministic core",
+	Run:  runDetrand,
+}
+
+// bannedTimeFuncs are the time functions that read the wall clock.
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand functions that merely build
+// generators or distributions around a caller-supplied seed/source;
+// everything else in the package draws from the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetrand(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				path := importedPath(p, n.X)
+				switch path {
+				case "time":
+					if bannedTimeFuncs[n.Sel.Name] && isFunc(p, n.Sel) {
+						out = append(out, diag(p, n.Pos(), "detrand",
+							"time.%s reads the wall clock; deterministic code must take time from the engine or an injected clock", n.Sel.Name))
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[n.Sel.Name] && isFunc(p, n.Sel) {
+						out = append(out, diag(p, n.Pos(), "detrand",
+							"rand.%s draws from the global generator; use a seeded stream threaded from the run seed", n.Sel.Name))
+					}
+				}
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						out = append(out, diag(p, n.For, "detrand",
+							"map iteration order is nondeterministic; iterate sorted keys (or //edvet:ignore detrand with why order cannot matter)"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isFunc reports whether the selected object is a function (so type
+// and variable references like rand.Rand never trip the check).
+func isFunc(p *Package, sel *ast.Ident) bool {
+	_, ok := p.Info.Uses[sel].(*types.Func)
+	return ok
+}
+
+// importedPath resolves the package an identifier qualifies, or "".
+func importedPath(p *Package, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Framescope guards the medium-owned frame pool (established by PR 1:
+// frames handed to FrameHandler upcalls are recycled the instant the
+// upcall returns). A MAC implementation that stores the *Frame — into a
+// field, slice, map, channel, closure, or by handing it to another
+// function — holds a pointer into the pool and will read (or corrupt) a
+// recycled frame later: a use-after-recycle the race detector cannot
+// see because everything is single-threaded. Implementations must copy
+// the fields (and may take the *Packet) they need.
+var Framescope = &Analyzer{
+	Name: "framescope",
+	Doc:  "MAC upcalls must not retain the medium-owned *Frame",
+	Run:  runFramescope,
+}
+
+// upcallNames are the FrameHandler methods whose *Frame argument is
+// pool-owned.
+var upcallNames = map[string]bool{"OnFrame": true, "OnTxDone": true}
+
+func runFramescope(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !upcallNames[fd.Name.Name] || fd.Body == nil {
+				continue
+			}
+			params := frameParams(p, fd)
+			if len(params) == 0 {
+				continue
+			}
+			out = append(out, checkFrameEscapes(p, fd, params)...)
+		}
+	}
+	return out
+}
+
+// frameParams returns the objects of every parameter typed *Frame.
+func frameParams(p *Package, fd *ast.FuncDecl) []types.Object {
+	var objs []types.Object
+	for _, field := range fd.Type.Params.List {
+		if !isFramePtr(p.Info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// isFramePtr reports whether t is a pointer to a named type Frame.
+func isFramePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Frame"
+}
+
+// checkFrameEscapes walks the upcall body flagging every construct that
+// lets a tainted frame pointer outlive the call. Taint propagates
+// through plain aliases (g := f), so renaming the pointer first does
+// not evade the check.
+func checkFrameEscapes(p *Package, fd *ast.FuncDecl, seeds []types.Object) []Diagnostic {
+	tainted := make(map[types.Object]bool, len(seeds))
+	for _, o := range seeds {
+		tainted[o] = true
+	}
+	isTainted := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return tainted[p.Info.Uses[id]]
+	}
+	// Fixed point over plain aliases: each pass may taint new locals.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !isTainted(rhs) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Diagnostic
+	report := func(pos ast.Node, how string) {
+		out = append(out, diag(p, pos.Pos(), "framescope",
+			"%s.%s %s a medium-owned *Frame; frames are recycled when the upcall returns — copy the fields you need",
+			recvTypeName(fd), fd.Name.Name, how))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isTainted(rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					report(n, "stores")
+				case *ast.IndexExpr:
+					report(n, "stores")
+				case *ast.Ident:
+					// Plain aliases were handled by taint propagation;
+					// only a package-level variable is an escape.
+					if obj := p.Info.Uses[lhs]; obj != nil && obj.Parent() == p.Types.Scope() {
+						report(n, "stores")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isTainted(n.Value) {
+				report(n, "sends")
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if !isTainted(arg) {
+					continue
+				}
+				if isAppend(p, n) {
+					report(n, "appends")
+				} else {
+					report(n, "passes")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isTainted(v) {
+					report(n, "embeds")
+				}
+			}
+		case *ast.FuncLit:
+			captured := false
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok && tainted[p.Info.Uses[id]] {
+					captured = true
+				}
+				return !captured
+			})
+			if captured {
+				report(n, "captures")
+			}
+			return false // inner stores already reported as a capture
+		}
+		return true
+	})
+	return out
+}
+
+// isAppend reports whether the call is the append builtin.
+func isAppend(p *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// recvTypeName names the receiver's type for messages.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "?"
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}

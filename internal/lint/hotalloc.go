@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc guards the allocation floor PR 1 bought (~1.3k allocs/op on
+// the simulator benches, bench-gated since PR 2). Functions annotated
+// //edvet:hotpath in their doc comment — the event loops, wheel
+// scheduler ops, Medium transitions, node queue ops — must stay free of
+// the four quiet ways allocations creep back in:
+//
+//   - fmt.* calls (interface boxing plus formatting state per call),
+//   - closures that capture enclosing variables (one heap cell per
+//     capture set, every invocation),
+//   - growth appends: appending to a local slice declared without
+//     capacity (var s []T / s := []T{} / make([]T, n)) reallocates as
+//     it grows — preallocate with make(len, cap) or reuse a buffer,
+//   - boxing a non-pointer-shaped value into an interface (pointers,
+//     maps, chans, funcs and constants convert without allocating;
+//     ints, floats, strings, structs and slices do not).
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//edvet:hotpath functions stay allocation-free: no fmt, capturing closures, growth appends, or boxing",
+	Run:  runHotalloc,
+}
+
+// hotpathMarker is the doc-comment annotation that opts a function in.
+const hotpathMarker = "//edvet:hotpath"
+
+func runHotalloc(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			out = append(out, checkHotFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// marker.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	sized := sizedLocals(p, fd)
+	name := fd.Name.Name
+
+	// Func-literal extents: returns inside a literal answer the
+	// literal's own signature, not the annotated function's.
+	var litRanges [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			litRanges = append(litRanges, [2]token.Pos{fl.Pos(), fl.End()})
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, r := range litRanges {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && importedPath(p, sel.X) == "fmt" {
+				out = append(out, diag(p, n.Pos(), "hotalloc",
+					"hotpath %s calls fmt.%s; formatting allocates — move it off the hot path", name, sel.Sel.Name))
+			}
+			out = append(out, checkAppendGrowth(p, fd, n, sized, name)...)
+			out = append(out, checkCallBoxing(p, n, name)...)
+		case *ast.FuncLit:
+			if capt := capturedVar(p, fd, n); capt != "" {
+				out = append(out, diag(p, n.Pos(), "hotalloc",
+					"hotpath %s builds a closure capturing %q (allocates per call); hoist it to a cached field or pass state via AtCall-style (do, arg)", name, capt))
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN {
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) && boxes(p, p.Info.TypeOf(lhs), n.Rhs[i]) {
+						out = append(out, diag(p, n.Rhs[i].Pos(), "hotalloc",
+							"hotpath %s boxes a %s into an interface (allocates)", name, p.Info.TypeOf(n.Rhs[i])))
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if inLit(n.Pos()) {
+				return true
+			}
+			if res := funcResults(p, fd); res != nil {
+				for i, e := range n.Results {
+					if i < res.Len() && boxes(p, res.At(i).Type(), e) {
+						out = append(out, diag(p, e.Pos(), "hotalloc",
+							"hotpath %s boxes a %s into an interface result (allocates)", name, p.Info.TypeOf(e)))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// funcResults returns the result tuple of the declared function.
+func funcResults(p *Package, fd *ast.FuncDecl) *types.Tuple {
+	obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return obj.Type().(*types.Signature).Results()
+}
+
+// sizedLocals classifies the function's local slice variables: a local
+// is "sized" when some assignment gives it unknown-but-presumed-adequate
+// provenance (a call result, a slice of another slice, a field read) or
+// an explicit make with a capacity argument. Locals only ever born
+// empty (var s []T, s := []T{}, make with no cap) are growth-append
+// suspects.
+func sizedLocals(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	sized := make(map[types.Object]bool)
+	note := func(id *ast.Ident, init ast.Expr) {
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if providesCapacity(p, init) {
+			sized[obj] = true
+		} else if _, seen := sized[obj]; !seen {
+			sized[obj] = false
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && i < len(n.Rhs) {
+					note(id, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				var init ast.Expr
+				if i < len(n.Values) {
+					init = n.Values[i]
+				}
+				note(id, init)
+			}
+		}
+		return true
+	})
+	return sized
+}
+
+// providesCapacity reports whether the initializer plausibly reserves
+// capacity: make with an explicit cap, or any expression other than an
+// empty birth (nil, a composite literal, a capacity-less make, or an
+// append — append is the growth being checked, not a reservation).
+func providesCapacity(p *Package, init ast.Expr) bool {
+	switch e := init.(type) {
+	case nil:
+		return false
+	case *ast.CompositeLit:
+		return false
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make":
+					return len(e.Args) >= 3
+				case "append":
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.Ident:
+		return e.Name != "nil"
+	}
+	return true
+}
+
+// checkAppendGrowth flags appends whose destination is a local slice
+// never given capacity. Appends to fields, params and package-level
+// slices are the amortized arena/pool growth idiom and stay legal.
+func checkAppendGrowth(p *Package, fd *ast.FuncDecl, call *ast.CallExpr, sized map[types.Object]bool, name string) []Diagnostic {
+	if !isAppend(p, call) || len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	wasSized, isLocal := sized[obj]
+	if !isLocal || wasSized || isParam(p, fd, obj) {
+		return nil
+	}
+	return []Diagnostic{diag(p, call.Pos(), "hotalloc",
+		"hotpath %s appends to %q, a local slice declared without capacity; preallocate with make(len, cap) or reuse a buffer", name, id.Name)}
+}
+
+// isParam reports whether obj is one of fd's parameters (or receiver).
+func isParam(p *Package, fd *ast.FuncDecl, obj types.Object) bool {
+	fobj, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fobj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return true
+		}
+	}
+	return sig.Recv() == obj
+}
+
+// checkCallBoxing flags call arguments boxed into interface
+// parameters.
+func checkCallBoxing(p *Package, call *ast.CallExpr, name string) []Diagnostic {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x): only interface targets box.
+		if len(call.Args) == 1 && boxes(p, tv.Type, call.Args[0]) {
+			return []Diagnostic{diag(p, call.Args[0].Pos(), "hotalloc",
+				"hotpath %s boxes a %s into an interface (allocates)", name, p.Info.TypeOf(call.Args[0]))}
+		}
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil // builtin or untyped
+	}
+	var out []Diagnostic
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(p, pt, arg) {
+			out = append(out, diag(p, arg.Pos(), "hotalloc",
+				"hotpath %s boxes a %s into an interface argument (allocates)", name, p.Info.TypeOf(arg)))
+		}
+	}
+	return out
+}
+
+// boxes reports whether assigning expr to target type performs an
+// allocating interface conversion: the target is an interface and the
+// value is a non-constant whose representation is not pointer-shaped
+// (pointers, maps, chans and funcs fit the interface word directly).
+func boxes(p *Package, target types.Type, expr ast.Expr) bool {
+	if target == nil || !types.IsInterface(target) {
+		return false
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil {
+		return false // constants are boxed into static data at compile time
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+// capturedVar returns the name of a variable the literal captures from
+// its enclosing function, or "".
+func capturedVar(p *Package, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured != "" {
+			return captured == ""
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal. Package-level variables are direct references,
+		// not captures.
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() &&
+			(v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			captured = v.Name()
+		}
+		return captured == ""
+	})
+	return captured
+}

@@ -1,0 +1,248 @@
+// Package lint is edvet's analysis engine: a dependency-free static
+// checker (stdlib go/ast + go/parser + go/types only) enforcing the
+// repo-specific invariants no compiler checks — deterministic replay,
+// medium-owned frame lifetimes, the stable snake_case JSON wire
+// surface, context discipline and hot-path allocation hygiene. Each
+// invariant is one Analyzer; cmd/edvet is the driver.
+//
+// # Ignore directives
+//
+// A diagnostic can be suppressed with a comment on the offending line
+// (or the line directly above it):
+//
+//	//edvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory — an ignore without one is itself a
+// diagnostic — and every ignore is reported in the run summary so
+// suppressions stay visible instead of rotting silently.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in output and ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant it guards.
+	Doc string
+	// Run analyzes one package and returns its findings.
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*Analyzer{Detrand, Framescope, Jsonwire, Ctxfirst, Hotalloc}
+
+// byName resolves an analyzer name (for directive validation).
+func byName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Ignore is one parsed //edvet:ignore directive.
+type Ignore struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	// Used records whether the directive suppressed at least one
+	// diagnostic this run.
+	Used bool
+}
+
+// ignorePrefix is the directive marker. The space-free form matches the
+// //go:build convention for machine-readable comments.
+const ignorePrefix = "//edvet:ignore"
+
+// collectIgnores parses every ignore directive in the package. Malformed
+// directives (unknown analyzer, missing reason) come back as
+// diagnostics: an unexplained suppression is a finding, not a license.
+func collectIgnores(p *Package) ([]*Ignore, []Diagnostic) {
+	var igs []*Ignore
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "edvet",
+						Message: "ignore directive names no analyzer (want //edvet:ignore <analyzer> <reason>)"})
+					continue
+				}
+				name := fields[0]
+				if byName(name) == nil {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "edvet",
+						Message: fmt.Sprintf("ignore directive names unknown analyzer %q", name)})
+					continue
+				}
+				reason := strings.Join(fields[1:], " ")
+				if reason == "" {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "edvet",
+						Message: fmt.Sprintf("unexplained ignore for %s: a reason is mandatory", name)})
+					continue
+				}
+				igs = append(igs, &Ignore{File: pos.Filename, Line: pos.Line, Analyzer: name, Reason: reason})
+			}
+		}
+	}
+	return igs, diags
+}
+
+// applyIgnores drops diagnostics covered by a directive on the same
+// line or the line directly above, marking the directive used.
+func applyIgnores(diags []Diagnostic, igs []*Ignore) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range igs {
+			if ig.Analyzer == d.Analyzer && ig.File == d.Pos.Filename &&
+				(ig.Line == d.Pos.Line || ig.Line == d.Pos.Line-1) {
+				ig.Used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// detrandScope lists the module-relative packages whose event order and
+// serialized output must be a pure function of the seed (the
+// byte-for-byte replay contract behind the suite golden and the bench
+// gate).
+var detrandScope = []string{
+	"internal/sim",
+	"internal/adapt",
+	"internal/scenario",
+	"internal/core",
+	"internal/nbs",
+	"internal/opt",
+	"internal/macmodel",
+	"internal/traffic",
+	"internal/topology",
+	"internal/channel",
+}
+
+// analyzersFor scopes the suite per package: detrand guards the
+// deterministic core, framescope the simulator's frame pool, jsonwire
+// the public wire surface (facade + internal/serve), while ctxfirst and
+// hotalloc apply module-wide (hotalloc only fires on annotated
+// functions anyway).
+func analyzersFor(module, path string) []*Analyzer {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, module), "/")
+	var as []*Analyzer
+	for _, s := range detrandScope {
+		if rel == s {
+			as = append(as, Detrand)
+			break
+		}
+	}
+	if rel == "internal/sim" {
+		as = append(as, Framescope)
+	}
+	if rel == "" || rel == "internal/serve" {
+		as = append(as, Jsonwire)
+	}
+	as = append(as, Ctxfirst, Hotalloc)
+	return as
+}
+
+// Result is one edvet run over a set of packages.
+type Result struct {
+	// Diags are the surviving findings, sorted by position.
+	Diags []Diagnostic
+	// Ignores are every well-formed directive seen, used or not — the
+	// visibility summary.
+	Ignores []*Ignore
+}
+
+// Run loads the module rooted at root and analyzes the packages named
+// by the given import paths (all discovered packages when paths is
+// empty), returning findings and the suppression summary.
+func Run(root string, paths []string) (*Result, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		paths, err = l.Discover()
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{}
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		var diags []Diagnostic
+		for _, a := range analyzersFor(l.Module(), path) {
+			diags = append(diags, a.Run(p)...)
+		}
+		igs, bad := collectIgnores(p)
+		diags = applyIgnores(diags, igs)
+		res.Diags = append(res.Diags, diags...)
+		res.Diags = append(res.Diags, bad...)
+		res.Ignores = append(res.Ignores, igs...)
+	}
+	sortDiags(res.Diags)
+	sort.Slice(res.Ignores, func(i, j int) bool {
+		a, b := res.Ignores[i], res.Ignores[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return res, nil
+}
+
+// sortDiags orders findings by file, line, column, analyzer.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// diag is the analyzers' shared constructor.
+func diag(p *Package, pos token.Pos, analyzer, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: p.Fset.Position(pos), Analyzer: analyzer, Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureState shares one loader (and thus one type-checked stdlib)
+// across every fixture test in the package.
+var fixtureState struct {
+	once sync.Once
+	l    *Loader
+	err  error
+}
+
+// fixturePkg loads one testdata fixture package under a synthetic
+// import path.
+func fixturePkg(t *testing.T, name string) *Package {
+	t.Helper()
+	fixtureState.once.Do(func() {
+		fixtureState.l, fixtureState.err = NewLoader(filepath.Join("..", ".."))
+	})
+	if fixtureState.err != nil {
+		t.Fatalf("NewLoader: %v", fixtureState.err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	p, err := fixtureState.l.LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return p
+}
+
+var (
+	wantRe   = regexp.MustCompile(`// want ((?:"[^"]*"\s*)+)`)
+	quotedRe = regexp.MustCompile(`"([^"]*)"`)
+)
+
+// wantsIn parses a fixture source's // want comments into line →
+// expected message substrings.
+func wantsIn(t *testing.T, path string) map[int][]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	out := make(map[int][]string)
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+			out[i+1] = append(out[i+1], q[1])
+		}
+	}
+	return out
+}
+
+// checkFixture runs one analyzer over its fixture package and matches
+// diagnostics against the // want comments line-exactly, in both
+// directions: every diagnostic needs a want on its line, every want
+// needs a diagnostic.
+func checkFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	p := fixturePkg(t, name)
+	diags := a.Run(p)
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	dir := filepath.Join("testdata", "src", name)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	want := make(map[key][]string)
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		for line, subs := range wantsIn(t, path) {
+			want[key{path, line}] = subs
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", name)
+	}
+
+	for k, msgs := range got {
+		subs := want[k]
+		for _, msg := range msgs {
+			matched := -1
+			for i, s := range subs {
+				if s != "" && strings.Contains(msg, s) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+				continue
+			}
+			subs[matched] = "" // consumed
+		}
+	}
+	for k, subs := range want {
+		for _, s := range subs {
+			if s != "" {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, s)
+			}
+		}
+	}
+}
+
+func TestDetrandFixture(t *testing.T)    { checkFixture(t, Detrand, "detrand") }
+func TestFramescopeFixture(t *testing.T) { checkFixture(t, Framescope, "framescope") }
+func TestJsonwireFixture(t *testing.T)   { checkFixture(t, Jsonwire, "jsonwire") }
+func TestCtxfirstFixture(t *testing.T)   { checkFixture(t, Ctxfirst, "ctxfirst") }
+func TestHotallocFixture(t *testing.T)   { checkFixture(t, Hotalloc, "hotalloc") }
+
+// TestIgnoreDirectives pins the directive machinery end to end: an
+// explained ignore suppresses and is marked used; unexplained or
+// unknown-analyzer directives become diagnostics and suppress nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	p := fixturePkg(t, "ignores")
+
+	diags := Detrand.Run(p)
+	if len(diags) != 3 {
+		t.Fatalf("Detrand found %d diagnostics, want 3 (one per time.Now)", len(diags))
+	}
+
+	igs, bad := collectIgnores(p)
+	if len(igs) != 1 {
+		t.Fatalf("collected %d well-formed ignores, want 1", len(igs))
+	}
+	if len(bad) != 2 {
+		t.Fatalf("collected %d malformed-directive diagnostics, want 2 (unexplained + unknown analyzer)", len(bad))
+	}
+	if ig := igs[0]; ig.Analyzer != "detrand" || ig.Reason != "fixture: exercising the suppression path" {
+		t.Fatalf("parsed ignore = %s %q, want detrand with the fixture reason", ig.Analyzer, ig.Reason)
+	}
+
+	kept := applyIgnores(diags, igs)
+	if len(kept) != 2 {
+		t.Fatalf("%d diagnostics survive the explained ignore, want 2", len(kept))
+	}
+	if !igs[0].Used {
+		t.Fatal("the explained ignore suppressed a diagnostic but is not marked used")
+	}
+}
+
+// TestDiscoverFindsCorePackages pins the walker: the packages the
+// analyzers exist for must be in the default ./... set, and testdata
+// fixtures must not.
+func TestDiscoverFindsCorePackages(t *testing.T) {
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	paths, err := l.Discover()
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	found := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		found[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Errorf("Discover included a testdata package: %s", p)
+		}
+	}
+	for _, want := range []string{
+		l.Module() + "/internal/sim",
+		l.Module() + "/internal/serve",
+		l.Module() + "/internal/lint",
+		l.Module() + "/cmd/edvet",
+	} {
+		if !found[want] {
+			t.Errorf("Discover missed %s", want)
+		}
+	}
+}
+
+// TestRepoClean is the self-check the suite hangs off: edvet ./... must
+// be clean on the repo itself, and every suppression in the tree must
+// actually suppress something.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	res, err := Run(filepath.Join("..", ".."), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("repo is not edvet-clean: %s", d)
+	}
+	for _, ig := range res.Ignores {
+		if !ig.Used {
+			t.Errorf("%s:%d: unused //edvet:ignore %s (%s)", ig.File, ig.Line, ig.Analyzer, ig.Reason)
+		}
+	}
+}

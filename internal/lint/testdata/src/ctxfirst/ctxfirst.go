@@ -1,0 +1,33 @@
+// Package ctxfirst is the fixture for the ctxfirst analyzer:
+// context.Context rides first in every signature — function or
+// interface method — and never lives in a struct field.
+package ctxfirst
+
+import "context"
+
+// Run has the canonical shape: context first.
+func Run(ctx context.Context, n int) error { // allowed
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// Shuffled buries the context behind another parameter.
+func Shuffled(n int, ctx context.Context) error { // want "must be the first parameter"
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// Worker shows the same rule applies to interface methods.
+type Worker interface {
+	Do(ctx context.Context, job int) error   // allowed
+	Undo(job int, ctx context.Context) error // want "must be the first parameter"
+}
+
+// holder smuggles a context through state, decoupling cancellation from
+// the call it was meant to bound.
+type holder struct {
+	ctx context.Context // want "stores a context.Context"
+	n   int
+}

@@ -1,0 +1,48 @@
+// Package detrand is the fixture for the detrand analyzer: wall-clock
+// reads, global math/rand draws and map ranging are flagged; seeded
+// streams, duration arithmetic and slice ranging are not. Each
+// offending line carries a // want comment the test harness matches
+// line-exactly against the analyzer's diagnostics.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func scaled(d time.Duration) time.Duration {
+	return d * 2 // allowed: duration arithmetic never reads a clock
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want "draws from the global generator"
+}
+
+func seededDraw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // allowed: constructors around a caller-supplied seed
+	return r.Float64()                  // allowed: method on a seeded stream
+}
+
+func mapTotal(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+func sliceTotal(xs []int) int {
+	total := 0
+	for _, v := range xs { // allowed: slice order is deterministic
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+// Package framescope is the fixture for the framescope analyzer. Frame
+// mirrors the simulator's pooled frame: the analyzer keys on any
+// parameter typed *Frame on an OnFrame/OnTxDone method, so a local
+// declaration exercises every escape path without importing the
+// simulator.
+package framescope
+
+// Frame stands in for the medium-owned pooled frame.
+type Frame struct {
+	Kind int
+	Seq  int
+}
+
+var lastSeen *Frame
+
+type event struct {
+	f *Frame
+}
+
+type mac struct {
+	kind    int
+	last    *Frame
+	backlog []*Frame
+	inbox   chan *Frame
+	pending []event
+}
+
+func (m *mac) OnFrame(f *Frame) {
+	m.kind = f.Kind // allowed: copying a field before returning
+	m.last = f      // want "stores"
+	g := f
+	m.last = g                                 // want "stores"
+	m.backlog = append(m.backlog, f)           // want "appends"
+	m.inbox <- f                               // want "sends"
+	lastSeen = f                               // want "stores"
+	m.pending = append(m.pending, event{f: f}) // want "embeds"
+	hold(f)                                    // want "passes"
+	go func() { m.kind = f.Kind }()            // want "captures"
+}
+
+func (m *mac) OnTxDone(f *Frame) {
+	m.kind = f.Kind // allowed: reading inside the upcall is the contract
+}
+
+// hold stands in for any callee that might retain its argument.
+func hold(f *Frame) { _ = f }

@@ -1,0 +1,44 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: functions
+// annotated //edvet:hotpath must stay free of fmt calls, capturing
+// closures, growth appends and interface boxing; the same patterns are
+// legal everywhere else.
+package hotalloc
+
+import "fmt"
+
+// process is annotated: every allocation pattern below is flagged.
+//
+//edvet:hotpath
+func process(n int, sink func(any)) int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want "a local slice declared without capacity"
+	}
+	double := func() int { return n * 2 } // want "capturing"
+	fmt.Println(n)                        // want "calls fmt.Println" "boxes a int into an interface argument"
+	sink(n)                               // want "boxes a int into an interface argument"
+	return xs[0] + double()
+}
+
+// drain is annotated but clean: preallocated locals, caller-owned
+// buffers and pointer-shaped interface values are all allocation-free.
+//
+//edvet:hotpath
+func drain(n int, buf []int, sink func(any)) []int {
+	out := make([]int, 0, n) // allowed: explicit capacity
+	for i := 0; i < n; i++ {
+		out = append(out, i) // allowed: sized local
+		buf = append(buf, i) // allowed: caller-owned buffer grows amortized
+	}
+	sink(&out) // allowed: pointers fit the interface word without allocating
+	return out
+}
+
+// report is unannotated: the same patterns are legal off the hot path.
+func report(n int) {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
+	fmt.Println(xs)
+}

@@ -1,0 +1,22 @@
+// Package ignores exercises the directive machinery: an explained
+// ignore suppresses the diagnostic on its line (or the line below) and
+// is reported in the summary; an unexplained or unknown-analyzer
+// directive is itself a finding.
+package ignores
+
+import "time"
+
+func explained() time.Time {
+	//edvet:ignore detrand fixture: exercising the suppression path
+	return time.Now()
+}
+
+func unexplained() time.Time {
+	//edvet:ignore detrand
+	return time.Now()
+}
+
+func unknown() time.Time {
+	//edvet:ignore nosuch because reasons
+	return time.Now()
+}

@@ -1,0 +1,79 @@
+// Package jsonwire is the fixture for the jsonwire analyzer: wire
+// structs (any struct already carrying a json tag) must tag every
+// exported field with an explicit snake_case name, and envelope error
+// codes — writeCoded arguments and errorStatus returns — must come from
+// the pinned set.
+package jsonwire
+
+// report is a wire struct: one tagged field makes every exported
+// field's tag load-bearing.
+type report struct {
+	ID       int    `json:"id"` // allowed
+	Untagged string // want "has no json tag"
+	BadName  int    `json:"BadName"`    // want "is not snake_case"
+	NoName   int    `json:",omitempty"` // want "json tag has no name"
+	Skipped  int    `json:"-"`          // allowed: explicitly excluded
+	hidden   int    // allowed: unexported fields never serialize
+}
+
+// config is not a wire struct (no json tags anywhere): plain Go-named
+// fields are fine on internal config.
+type config struct {
+	Workers int
+	Verbose bool
+}
+
+// inner is a tagged component meant for embedding.
+type inner struct {
+	Seed int64 `json:"seed"`
+}
+
+// composed embeds a struct untagged — the deliberate composition idiom:
+// inner's tagged fields inline into composed's wire shape.
+type composed struct {
+	inner     // allowed: embedded structs inline their tagged fields
+	Extra int `json:"extra"`
+}
+
+// Badge is an exported non-struct type.
+type Badge string
+
+// stamped embeds a non-struct untagged: it would serialize under its Go
+// type name, so it must be tagged.
+type stamped struct {
+	Badge     // want "embedded non-struct field"
+	ID    int `json:"id"`
+}
+
+type responder struct{}
+
+func writeCoded(w *responder, status int, code, msg string) { _ = w }
+
+func replyInvalid(w *responder) {
+	writeCoded(w, 400, "invalid_request", "bad payload") // allowed: pinned constant
+}
+
+func replyAdHoc(w *responder) {
+	writeCoded(w, 400, "bad_vibes", "made-up code") // want "is not in the pinned envelope code set"
+}
+
+func replyComputed(w *responder, code string) {
+	writeCoded(w, 400, code, "computed") // want "not a string constant"
+}
+
+// errorStatus mirrors the serve classifier: the code half of every
+// return must be a pinned constant.
+func errorStatus(kind int) (int, string) {
+	switch kind {
+	case 0:
+		return 404, "not_found" // allowed
+	case 1:
+		return 500, "oops" // want "is not in the pinned envelope code set"
+	}
+	return 500, codeFor(kind) // want "must return a pinned code constant"
+}
+
+func codeFor(kind int) string {
+	_ = kind
+	return "internal"
+}

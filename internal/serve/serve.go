@@ -412,6 +412,7 @@ func writeError(w http.ResponseWriter, err error) {
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
+	//edvet:ignore jsonwire code flows from errorStatus, whose returns edvet pins to the code set
 	writeCoded(w, status, code, err.Error())
 }
 

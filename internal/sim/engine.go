@@ -210,17 +210,23 @@ func (e *Engine) After(d float64, fn func()) Timer {
 // AtCall schedules do(arg) at absolute time t. It exists for hot paths:
 // do can be one long-lived func value (e.g. a cached method wrapper)
 // reused across schedules, so no closure is allocated per event.
+//
+//edvet:hotpath
 func (e *Engine) AtCall(t Time, do func(any), arg any) Timer {
 	return e.schedule(t, nil, do, arg)
 }
 
 // AfterCall schedules do(arg) d seconds from now.
+//
+//edvet:hotpath
 func (e *Engine) AfterCall(d float64, do func(any), arg any) Timer {
 	return e.schedule(e.now+d, nil, do, arg)
 }
 
 // schedule allocates a slot (reusing the free-list), fills it and links
 // it into the active scheduler structure.
+//
+//edvet:hotpath
 func (e *Engine) schedule(t Time, fn func(), do func(any), arg any) Timer {
 	if t < e.now {
 		t = e.now
@@ -256,6 +262,8 @@ func (e *Engine) schedule(t Time, fn func(), do func(any), arg any) Timer {
 
 // cancel removes the event at slot if the generation still matches (the
 // event has neither fired nor been cancelled since the Timer was made).
+//
+//edvet:hotpath
 func (e *Engine) cancel(slot int32, gen uint32) {
 	if slot < 0 || int(slot) >= len(e.events) {
 		return
@@ -275,6 +283,8 @@ func (e *Engine) cancel(slot int32, gen uint32) {
 
 // release returns a slot to the free-list, dropping callback references
 // so the GC can reclaim captured state.
+//
+//edvet:hotpath
 func (e *Engine) release(slot int32) {
 	ev := &e.events[slot]
 	ev.fn = nil
@@ -369,6 +379,8 @@ func (e *Engine) RunContext(ctx context.Context, until Time) error {
 // wheelInsert links a freshly filled slot into the wheel: its bucket
 // when the event's tick is inside the horizon, the overflow list
 // otherwise.
+//
+//edvet:hotpath
 func (e *Engine) wheelInsert(slot int32, ev *event) {
 	tick := int64(ev.at * tickScale)
 	if tick < e.base {
@@ -398,6 +410,8 @@ func (e *Engine) wheelInsert(slot int32, ev *event) {
 // events almost always carry the largest (at, seq) of their tick, so
 // the common case is an O(1) append at the tail; the fallback walks
 // from the head of a chain that is a handful of events long.
+//
+//edvet:hotpath
 func (e *Engine) bucketInsert(slot int32, ev *event, b int32) {
 	ev.loc = b
 	t := e.tails[b]
@@ -433,6 +447,8 @@ func (e *Engine) bucketInsert(slot int32, ev *event, b int32) {
 
 // wheelUnlink removes an event from its chain (bucket or overflow) in
 // O(1), clearing the bucket's occupancy bit when it empties.
+//
+//edvet:hotpath
 func (e *Engine) wheelUnlink(ev *event) {
 	nx, pv := ev.next, ev.prev
 	if pv != noSlot {
@@ -488,6 +504,8 @@ func (e *Engine) rebase(tick int64) {
 // redistribute relinks a next-chained list of unlinked events against
 // the current base: in-horizon events into their buckets (sorted), the
 // rest onto the overflow list. Returns the number of events bucketed.
+//
+//edvet:hotpath
 func (e *Engine) redistribute(head int32) uint64 {
 	end := e.base + wheelSize
 	var placed uint64
@@ -514,6 +532,8 @@ func (e *Engine) redistribute(head int32) uint64 {
 // to at most one tick of the range; the occupancy bitmap lets idle
 // stretches (a sleeping network between polls) skip 64 buckets per word
 // load.
+//
+//edvet:hotpath
 func (e *Engine) scanOcc(start, end int64) int64 {
 	for i := start; i < end; {
 		b := i & wheelMask
@@ -539,6 +559,8 @@ func (e *Engine) scanOcc(start, end int64) int64 {
 // the exact (at, seq) order the heap realizes. The cursor makes the
 // common case O(1): the scan resumes at the tick the last pop stopped
 // on, which is still occupied while its bucket drains.
+//
+//edvet:hotpath
 func (e *Engine) wheelMin() int32 {
 	for {
 		start := e.cur
@@ -561,6 +583,8 @@ func (e *Engine) wheelMin() int32 {
 // moves every overflow event inside the new horizon into its bucket.
 // Called only when the wheel is empty, so re-bucketing cannot collide
 // with live in-window events.
+//
+//edvet:hotpath
 func (e *Engine) promote() {
 	minTick := int64(1)<<62 - 1
 	for s := e.overflow; s != noSlot; s = e.events[s].next {
@@ -576,6 +600,8 @@ func (e *Engine) promote() {
 }
 
 // runWheel is the wheel-scheduled event loop behind RunContext.
+//
+//edvet:hotpath
 func (e *Engine) runWheel(ctx context.Context, done <-chan struct{}, until Time) error {
 	countdown := ctxCheckInterval
 	for e.pending > 0 {
@@ -616,6 +642,8 @@ func (e *Engine) runWheel(ctx context.Context, done <-chan struct{}, until Time)
 // --- indexed 4-ary min-heap over the order slice ----------------------
 
 // runHeap is the heap-scheduled event loop behind RunContext.
+//
+//edvet:hotpath
 func (e *Engine) runHeap(ctx context.Context, done <-chan struct{}, until Time) error {
 	countdown := ctxCheckInterval
 	for len(e.order) > 0 {
@@ -651,6 +679,8 @@ func (e *Engine) runHeap(ctx context.Context, done <-chan struct{}, until Time) 
 }
 
 // less orders slots by (at, seq): earliest first, FIFO among equals.
+//
+//edvet:hotpath
 func (e *Engine) less(a, b int32) bool {
 	ea, eb := &e.events[a], &e.events[b]
 	if ea.at != eb.at {
@@ -660,11 +690,14 @@ func (e *Engine) less(a, b int32) bool {
 }
 
 // place writes slot at heap position i and records the position.
+//
+//edvet:hotpath
 func (e *Engine) place(slot int32, i int) {
 	e.order[i] = slot
 	e.events[slot].loc = int32(i)
 }
 
+//edvet:hotpath
 func (e *Engine) siftUp(i int) {
 	slot := e.order[i]
 	for i > 0 {
@@ -678,6 +711,7 @@ func (e *Engine) siftUp(i int) {
 	e.place(slot, i)
 }
 
+//edvet:hotpath
 func (e *Engine) siftDown(i int) {
 	slot := e.order[i]
 	n := len(e.order)
@@ -707,6 +741,8 @@ func (e *Engine) siftDown(i int) {
 
 // removeAt deletes the heap entry at position i, restoring heap order.
 // The caller releases (or has copied) the slot itself.
+//
+//edvet:hotpath
 func (e *Engine) removeAt(i int) {
 	n := len(e.order) - 1
 	lastSlot := e.order[n]

@@ -222,6 +222,8 @@ func (m *Medium) ensureGains() {
 
 // newFrame returns a zeroed frame from the pool. The medium reclaims it
 // after the transmission ends and every upcall has returned.
+//
+//edvet:hotpath
 func (m *Medium) newFrame() *Frame {
 	if n := len(m.framePool); n > 0 {
 		f := m.framePool[n-1]
@@ -234,6 +236,8 @@ func (m *Medium) newFrame() *Frame {
 }
 
 // freeFrame returns a frame to the pool.
+//
+//edvet:hotpath
 func (m *Medium) freeFrame(f *Frame) {
 	if f.pooled {
 		panic("double free of frame")
@@ -245,6 +249,8 @@ func (m *Medium) freeFrame(f *Frame) {
 
 // newTransmission builds a pooled transmission for a frame leaving node
 // `from` with the given airtime.
+//
+//edvet:hotpath
 func (m *Medium) newTransmission(f *Frame, from topology.NodeID, endAt Time) *transmission {
 	var tx *transmission
 	if n := len(m.txPool); n > 0 {
@@ -262,12 +268,16 @@ func (m *Medium) newTransmission(f *Frame, from topology.NodeID, endAt Time) *tr
 }
 
 // addInflight appends tx to the in-flight set, recording its index.
+//
+//edvet:hotpath
 func (m *Medium) addInflight(tx *transmission) {
 	tx.idx = int32(len(m.inflight))
 	m.inflight = append(m.inflight, tx)
 }
 
 // dropInflight removes tx by swapping the last element into its place.
+//
+//edvet:hotpath
 func (m *Medium) dropInflight(tx *transmission) {
 	i := tx.idx
 	last := len(m.inflight) - 1
@@ -282,6 +292,8 @@ func (m *Medium) dropInflight(tx *transmission) {
 // dropCommitted removes tx from the committed set (a linear scan: the
 // set holds at most the transmissions inside one inter-frame spacing,
 // almost always a single element).
+//
+//edvet:hotpath
 func (m *Medium) dropCommitted(tx *transmission) {
 	for i, c := range m.committed {
 		if c == tx {
@@ -295,6 +307,8 @@ func (m *Medium) dropCommitted(tx *transmission) {
 }
 
 // startTx propagates a new transmission to every neighbour of the sender.
+//
+//edvet:hotpath
 func (m *Medium) startTx(tx *transmission) {
 	m.dropCommitted(tx)
 	m.addInflight(tx)
@@ -322,6 +336,8 @@ func (m *Medium) startTx(tx *transmission) {
 // record. Folding both into one event halves the end-of-frame scheduler
 // traffic — transmissions are ~72% of all events — while preserving the
 // sender-before-receivers order the Send contract promises.
+//
+//edvet:hotpath
 func (m *Medium) finishTx(tx *transmission) {
 	m.xcvrs[tx.from].txDone(tx.frame)
 	m.endTx(tx)
@@ -340,6 +356,8 @@ func (m *Medium) finishTx(tx *transmission) {
 // strongest earlier frame may have left the air by then; accepting that
 // approximation keeps the bookkeeping O(1) per overlap and errs toward
 // corruption, never toward phantom deliveries.)
+//
+//edvet:hotpath
 func (m *Medium) overlap(nb topology.NodeID, tx *transmission, k int) {
 	if m.capture {
 		newGain := m.linkGain[tx.from][k]
@@ -365,6 +383,8 @@ func (m *Medium) overlap(nb topology.NodeID, tx *transmission, k int) {
 
 // endTx removes the transmission, delivers it where reception survived,
 // and recycles the frame and the transmission record.
+//
+//edvet:hotpath
 func (m *Medium) endTx(tx *transmission) {
 	m.dropInflight(tx)
 	for k, nb := range m.nbrs[tx.from] {
@@ -440,6 +460,8 @@ func (m *Medium) quiesce() {
 // (radio ramping up during the inter-frame spacing). Including committed
 // transmitters models a CCA that detects the transmitter's ramp-up and
 // closes the blind window the spacing would otherwise open.
+//
+//edvet:hotpath
 func (m *Medium) busy(id topology.NodeID) bool {
 	if m.carriers[id] > 0 {
 		return true
@@ -480,6 +502,8 @@ func (x *Transceiver) State() radio.State { return x.med.states[x.id] }
 // powered-off node draws nothing — and on fault-injected runs every
 // transition notifies the battery meter so depletion instants stay
 // exact. Failure-free runs take neither branch.
+//
+//edvet:hotpath
 func (m *Medium) setState(id topology.NodeID, s radio.State) {
 	now := m.eng.Now()
 	if !m.halted[id] {
@@ -525,6 +549,8 @@ func (x *Transceiver) Listen() {
 
 // midLock locks a freshly listening node onto an audible in-flight
 // preamble, unless several carriers overlap (then nothing is decodable).
+//
+//edvet:hotpath
 func (m *Medium) midLock(id topology.NodeID) {
 	if m.carriers[id] != 1 {
 		return
@@ -565,6 +591,8 @@ const interFrameSpacing = 32e-6
 //
 // The frame is handed over to the medium: it is delivered to receivers
 // when the airtime ends and then recycled (see FrameHandler).
+//
+//edvet:hotpath
 func (x *Transceiver) Send(f *Frame) {
 	if f.pooled {
 		panic("Send of pooled frame")
@@ -587,6 +615,8 @@ func (x *Transceiver) Send(f *Frame) {
 }
 
 // txDone closes the sender side of a transmission.
+//
+//edvet:hotpath
 func (x *Transceiver) txDone(f *Frame) {
 	if f.pooled {
 		panic("txDone on pooled frame")

@@ -88,6 +88,8 @@ func (n *node) isSink() bool { return n.id == 0 }
 
 // newFrame builds a pooled frame originating at this node. The medium
 // reclaims it once the transmission ends (see FrameHandler).
+//
+//edvet:hotpath
 func (n *node) newFrame(kind FrameKind, dst topology.NodeID, bytes int, pkt *Packet) *Frame {
 	f := n.x.med.newFrame()
 	f.Kind = kind
@@ -103,6 +105,8 @@ func (n *node) newFrame(kind FrameKind, dst topology.NodeID, bytes int, pkt *Pac
 // the packet the MAC may be mid-handshake on, so the later pop() would
 // discard a different packet than the one just acknowledged, corrupting
 // the dropped/delivered accounting.
+//
+//edvet:hotpath
 func (n *node) push(p *Packet) {
 	if n.qlen == queueCap {
 		n.metrics.recordDropped()
@@ -113,6 +117,8 @@ func (n *node) push(p *Packet) {
 }
 
 // head returns the next packet to send without removing it.
+//
+//edvet:hotpath
 func (n *node) head() *Packet {
 	if n.qlen == 0 {
 		return nil
@@ -121,6 +127,8 @@ func (n *node) head() *Packet {
 }
 
 // pop removes the head packet.
+//
+//edvet:hotpath
 func (n *node) pop() {
 	if n.qlen > 0 {
 		n.queue[n.qhead] = nil
@@ -145,6 +153,8 @@ func (n *node) clearQueue() {
 // once — a second copy arriving after a lost ACK made the sender retry
 // is a duplicate, kept out of the delivery count and the delay samples
 // (it would bias the mean and p95 and push DeliveryRatio beyond 1).
+//
+//edvet:hotpath
 func (n *node) accept(p *Packet) {
 	if n.isSink() {
 		if p.delivered {
