@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -112,10 +113,17 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	}
 
 	errCh := make(chan error, 1)
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
 	go func() {
+		defer serveWG.Done()
 		log.Printf("edserve: listening on %s", ln.Addr())
 		errCh <- httpSrv.Serve(ln)
 	}()
+	// run never returns while the serve goroutine is alive: every exit
+	// path below first makes Serve return (error, Shutdown, or Close),
+	// and the errCh send is buffered, so this join is bounded.
+	defer serveWG.Wait()
 
 	select {
 	case err := <-errCh:
