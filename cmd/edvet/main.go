@@ -3,13 +3,16 @@
 // alone would let erode — deterministic replay in the simulator core
 // (detrand), medium-owned frame lifetimes (framescope), the frozen
 // snake_case JSON wire surface (jsonwire), context discipline
-// (ctxfirst) and hot-path allocation hygiene (hotalloc). See the
-// README's "Invariants & static analysis" section for what each
-// analyzer guards and which PR established the invariant.
+// (ctxfirst), hot-path allocation hygiene (hotalloc), the serving
+// tier's lock and goroutine discipline (lockorder, goroleak),
+// compiler-verified hot-path escape behavior (escapegold) and the
+// frozen exported facade surface (apisurface). See the README's
+// "Invariants & static analysis" section for what each analyzer guards
+// and which PR established the invariant.
 //
 // Usage:
 //
-//	edvet [-list] [packages]
+//	edvet [-list] [-escape] [-update] [packages]
 //
 // With no arguments (or "./...") every package of the module is
 // analyzed. Package arguments are module-relative directories
@@ -17,6 +20,13 @@
 // line; every //edvet:ignore suppression is echoed in a summary so
 // exceptions stay visible. The exit status is non-zero on any
 // diagnostic, including malformed or unexplained ignore directives.
+//
+// -escape runs the compiler-fact gate instead: `go build
+// -gcflags=-m=2` over the escape-scope packages, with the escape/heap
+// decisions inside //edvet:hotpath functions diffed against
+// internal/lint/testdata/escape_golden.txt. With -update the golden is
+// rewritten (`make escape-golden`). -update alone rewrites the
+// API-surface golden (`make api-golden`).
 package main
 
 import (
@@ -31,8 +41,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	escape := flag.Bool("escape", false, "run the escape-analysis golden gate (go build -gcflags=-m=2) instead of the analyzers")
+	update := flag.Bool("update", false, "with -escape, rewrite the escape golden; alone, rewrite the API-surface golden")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: edvet [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: edvet [-list] [-escape] [-update] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,6 +60,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edvet:", err)
 		os.Exit(2)
+	}
+
+	if *escape {
+		runEscapeGate(root, *update)
+		return
+	}
+	if *update {
+		path, err := lint.WriteAPIGolden(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edvet:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("edvet: wrote %s\n", strings.TrimPrefix(path, root+string(filepath.Separator)))
+		return
 	}
 
 	paths, err := resolvePatterns(root, flag.Args())
@@ -70,6 +96,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edvet: %d diagnostic(s)\n", len(res.Diags))
 		os.Exit(1)
 	}
+}
+
+// runEscapeGate executes the compiler-fact gate: regenerate the escape
+// golden with update, otherwise fail on any drift from it.
+func runEscapeGate(root string, update bool) {
+	res, err := lint.RunEscape(root, update)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edvet:", err)
+		os.Exit(2)
+	}
+	rel := strings.TrimPrefix(res.GoldenPath, root+string(filepath.Separator))
+	if update {
+		fmt.Printf("edvet: wrote %s (%d facts)\n", rel, len(res.Lines))
+		return
+	}
+	if !res.Clean() {
+		for _, l := range res.Missing {
+			fmt.Printf("escape golden: compiler no longer reports: %s\n", l)
+		}
+		for _, l := range res.Extra {
+			fmt.Printf("escape golden: compiler newly reports: %s\n", l)
+		}
+		fmt.Fprintf(os.Stderr, "edvet: escape golden drift (%d missing, %d extra); run `make escape-golden` if intentional\n",
+			len(res.Missing), len(res.Extra))
+		os.Exit(1)
+	}
+	fmt.Printf("edvet: escape golden clean (%d facts, %s)\n", len(res.Lines), rel)
 }
 
 // moduleRoot walks up from the working directory to the enclosing

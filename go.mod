@@ -1,3 +1,8 @@
 module github.com/edmac-project/edmac
 
 go 1.24
+
+// Pinned so the escape-analysis golden (internal/lint/testdata/
+// escape_golden.txt) compares facts from the same compiler on every
+// runner; bump deliberately and regenerate with `make escape-golden`.
+toolchain go1.24.0

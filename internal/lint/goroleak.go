@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroleak guards the serving tier against fire-and-forget goroutines.
+// A process meant to serve millions of users cannot afford goroutines
+// that outlive the request, store or server that spawned them: each
+// leaked one pins its stack, its captures and — for the jobs tier —
+// open spill files. Every `go` statement in the serving/worker
+// packages must therefore carry a visible termination path: the spawned
+// body (or its intra-package callee) must reference a context.Context,
+// receive from a channel (done/quit channels, range, select), or join
+// a sync.WaitGroup via Done/Wait. Anything else is a diagnostic; the
+// audited few carry //edvet:ignore goroleak <reason>.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement in the serving tier has a visible termination path (ctx, done channel, or WaitGroup)",
+	Run:  runGoroleak,
+}
+
+// goroScope lists the packages (module-relative) whose goroutines must
+// provably terminate: the serving/worker tier plus the long-running
+// binaries that host it.
+var goroScope = []string{
+	"internal/serve",
+	"internal/jobs",
+	"internal/lru",
+	"internal/par",
+	"cmd/edserve",
+	"cmd/edload",
+}
+
+func runGoroleak(p *Package) []Diagnostic {
+	decls := funcDecls(p)
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goTerminates(p, decls, g.Call, map[*types.Func]bool{}) {
+				out = append(out, diag(p, g.Pos(), "goroleak",
+					"goroutine has no visible termination path: the body neither watches a context.Context, receives from a channel, nor joins a sync.WaitGroup"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// funcDecls maps each declared function object to its body.
+func funcDecls(p *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// goTerminates reports whether the spawned call has a visible
+// termination path: a lifecycle-typed argument, or a body that watches
+// one.
+func goTerminates(p *Package, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr, seen map[*types.Func]bool) bool {
+	for _, a := range call.Args {
+		if isLifecycleType(p.Info.TypeOf(a)) {
+			return true
+		}
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return bodyTerminates(p, decls, lit.Body, seen)
+	}
+	if tf := calleeFunc(p, call); tf != nil && tf.Pkg() == p.Types {
+		if seen[tf] {
+			return false
+		}
+		seen[tf] = true
+		if fd := decls[tf]; fd != nil {
+			return bodyTerminates(p, decls, fd.Body, seen)
+		}
+	}
+	return false
+}
+
+// bodyTerminates scans a function body for any termination signal:
+// a context.Context reference, a channel receive/range/select, or a
+// WaitGroup Done/Wait. Intra-package calls are followed one level deep
+// per callee (cycle-guarded), so `go s.worker()` is judged by worker's
+// own body.
+func bodyTerminates(p *Package, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, seen map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if isContextType(p.Info.TypeOf(n)) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isContextType(p.Info.TypeOf(n)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isWaitGroupJoin(p, n) {
+				found = true
+				return false
+			}
+			if tf := calleeFunc(p, n); tf != nil && tf.Pkg() == p.Types && !seen[tf] {
+				seen[tf] = true
+				if fd := decls[tf]; fd != nil && bodyTerminates(p, decls, fd.Body, seen) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isLifecycleType reports whether t can carry a termination signal into
+// the goroutine: a context, a channel, or a WaitGroup pointer.
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		if named := namedOf(u.Elem()); named != nil {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+		}
+	}
+	return false
+}
+
+// isWaitGroupJoin recognizes (*sync.WaitGroup).Done and .Wait calls.
+func isWaitGroupJoin(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tf, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || (tf.Name() != "Done" && tf.Name() != "Wait") {
+		return false
+	}
+	sig, ok := tf.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -2,8 +2,11 @@
 // checker (stdlib go/ast + go/parser + go/types only) enforcing the
 // repo-specific invariants no compiler checks — deterministic replay,
 // medium-owned frame lifetimes, the stable snake_case JSON wire
-// surface, context discipline and hot-path allocation hygiene. Each
-// invariant is one Analyzer; cmd/edvet is the driver.
+// surface, context discipline, hot-path allocation hygiene, the
+// serving tier's lock and goroutine discipline (lockorder, goroleak),
+// compiler-verified escape behavior (escapegold, via edvet -escape)
+// and the frozen exported facade surface (apisurface). Each invariant
+// is one Analyzer; cmd/edvet is the driver.
 //
 // # Ignore directives
 //
@@ -48,7 +51,10 @@ type Analyzer struct {
 }
 
 // Analyzers is the full suite, in reporting order.
-var Analyzers = []*Analyzer{Detrand, Framescope, Jsonwire, Ctxfirst, Hotalloc}
+var Analyzers = []*Analyzer{
+	Detrand, Framescope, Jsonwire, Ctxfirst, Hotalloc,
+	Lockorder, Goroleak, Escapegold, Apisurface,
+}
 
 // byName resolves an analyzer name (for directive validation).
 func byName(name string) *Analyzer {
@@ -153,17 +159,24 @@ var detrandScope = []string{
 
 // analyzersFor scopes the suite per package: detrand guards the
 // deterministic core, framescope the simulator's frame pool, jsonwire
-// the public wire surface (facade + internal/serve), while ctxfirst and
-// hotalloc apply module-wide (hotalloc only fires on annotated
+// the public wire surface (facade + internal/serve), lockorder and
+// goroleak the mutex/goroutine-heavy serving tier, apisurface the root
+// facade package, while ctxfirst, hotalloc and the escapegold scope
+// guard apply module-wide (the latter two only fire on annotated
 // functions anyway).
 func analyzersFor(module, path string) []*Analyzer {
 	rel := strings.TrimPrefix(strings.TrimPrefix(path, module), "/")
-	var as []*Analyzer
-	for _, s := range detrandScope {
-		if rel == s {
-			as = append(as, Detrand)
-			break
+	inScope := func(scope []string) bool {
+		for _, s := range scope {
+			if rel == s {
+				return true
+			}
 		}
+		return false
+	}
+	var as []*Analyzer
+	if inScope(detrandScope) {
+		as = append(as, Detrand)
 	}
 	if rel == "internal/sim" {
 		as = append(as, Framescope)
@@ -171,7 +184,16 @@ func analyzersFor(module, path string) []*Analyzer {
 	if rel == "" || rel == "internal/serve" {
 		as = append(as, Jsonwire)
 	}
-	as = append(as, Ctxfirst, Hotalloc)
+	if inScope(lockScope) {
+		as = append(as, Lockorder)
+	}
+	if inScope(goroScope) {
+		as = append(as, Goroleak)
+	}
+	if rel == "" {
+		as = append(as, Apisurface)
+	}
+	as = append(as, Ctxfirst, Hotalloc, Escapegold)
 	return as
 }
 

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -130,6 +131,10 @@ func TestFramescopeFixture(t *testing.T) { checkFixture(t, Framescope, "framesco
 func TestJsonwireFixture(t *testing.T)   { checkFixture(t, Jsonwire, "jsonwire") }
 func TestCtxfirstFixture(t *testing.T)   { checkFixture(t, Ctxfirst, "ctxfirst") }
 func TestHotallocFixture(t *testing.T)   { checkFixture(t, Hotalloc, "hotalloc") }
+func TestLockorderFixture(t *testing.T)  { checkFixture(t, Lockorder, "lockorder") }
+func TestGoroleakFixture(t *testing.T)   { checkFixture(t, Goroleak, "goroleak") }
+func TestEscapegoldFixture(t *testing.T) { checkFixture(t, Escapegold, "escapegold") }
+func TestApisurfaceFixture(t *testing.T) { checkFixture(t, Apisurface, "apisurface") }
 
 // TestIgnoreDirectives pins the directive machinery end to end: an
 // explained ignore suppresses and is marked used; unexplained or
@@ -159,6 +164,83 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 	if !igs[0].Used {
 		t.Fatal("the explained ignore suppressed a diagnostic but is not marked used")
+	}
+}
+
+// TestIgnoreCoversNewAnalyzers pins the directive machinery for the v2
+// analyzers: each new name resolves (so directives for it are
+// well-formed), and the goroleak fixture's explained ignore suppresses
+// exactly one of its leaks.
+func TestIgnoreCoversNewAnalyzers(t *testing.T) {
+	for _, name := range []string{"lockorder", "goroleak", "escapegold", "apisurface"} {
+		if byName(name) == nil {
+			t.Errorf("byName(%q) = nil; ignore directives for it would be rejected as unknown", name)
+		}
+	}
+
+	p := fixturePkg(t, "goroleak")
+	diags := Goroleak.Run(p)
+	igs, bad := collectIgnores(p)
+	if len(bad) != 0 {
+		t.Fatalf("goroleak fixture has %d malformed directives, want 0: %v", len(bad), bad)
+	}
+	if len(igs) != 1 || igs[0].Analyzer != "goroleak" {
+		t.Fatalf("collected ignores = %+v, want exactly one for goroleak", igs)
+	}
+	kept := applyIgnores(diags, igs)
+	if len(kept) != len(diags)-1 {
+		t.Fatalf("%d of %d diagnostics survive the ignore, want one suppressed", len(kept), len(diags))
+	}
+	if !igs[0].Used {
+		t.Fatal("the goroleak ignore suppressed a diagnostic but is not marked used")
+	}
+}
+
+// TestEscapeGolden is the compiler-fact gate in test form: the escape
+// decisions inside //edvet:hotpath functions must match the committed
+// golden byte for byte (modulo line numbers, which the extraction
+// elides).
+func TestEscapeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go compiler over the escape scope")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go binary unavailable")
+	}
+	res, err := RunEscape(filepath.Join("..", ".."), false)
+	if err != nil {
+		t.Fatalf("RunEscape: %v", err)
+	}
+	if len(res.Lines) == 0 {
+		t.Fatal("no escape facts extracted — the parser or the hotpath scope broke")
+	}
+	for _, l := range res.Missing {
+		t.Errorf("escape golden drift: compiler no longer reports %q (make escape-golden if intentional)", l)
+	}
+	for _, l := range res.Extra {
+		t.Errorf("escape golden drift: compiler newly reports %q (make escape-golden if intentional)", l)
+	}
+}
+
+// TestAPISurfaceGolden mirrors the apisurface analyzer for the real
+// root package, so `go test` catches facade drift even without the
+// edvet driver.
+func TestAPISurfaceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the root package and its imports")
+	}
+	fixtureState.once.Do(func() {
+		fixtureState.l, fixtureState.err = NewLoader(filepath.Join("..", ".."))
+	})
+	if fixtureState.err != nil {
+		t.Fatalf("NewLoader: %v", fixtureState.err)
+	}
+	p, err := fixtureState.l.Load(fixtureState.l.Module())
+	if err != nil {
+		t.Fatalf("loading root package: %v", err)
+	}
+	for _, d := range Apisurface.Run(p) {
+		t.Errorf("api surface drift: %s", d)
 	}
 }
 

@@ -1,0 +1,743 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder guards the serving tier's two deadlock surfaces at once.
+// First: no blocking operation — channel send/receive, a select without
+// a default, range over a channel, time.Sleep, WaitGroup/Cond waits, or
+// file/network I/O — may run while a sync.Mutex or RWMutex is held; a
+// handler goroutine parked inside a critical section stalls every other
+// request that needs the same lock (PR 7's spill/event paths were
+// restructured around exactly this rule). Second: the acquired-before
+// graph between named locks must stay acyclic — if one code path takes
+// Store.mu then Job.mu and another takes them in the opposite order,
+// two goroutines can each hold one and wait forever for the other.
+//
+// The analysis is a branch-sensitive held-set walk per function (lock
+// identity is the declaring type plus field, so every Job.mu instance
+// is one node), with intra-package call summaries propagating both
+// transitive acquisitions (for graph edges) and may-block facts.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "no blocking ops while a mutex is held; lock acquisition order is acyclic",
+	Run:  runLockorder,
+}
+
+// lockScope lists the mutex- and goroutine-heavy serving packages the
+// lock discipline applies to (module-relative).
+var lockScope = []string{
+	"internal/serve",
+	"internal/jobs",
+	"internal/lru",
+	"internal/par",
+}
+
+// lockID names a lock by declaration, not instance: "Store.mu" for a
+// field, "pkg-level mu" for a package variable, the identifier for a
+// local. Instance-blind identity is what makes the acquired-before
+// graph meaningful across methods.
+type lockID string
+
+// lockFacts is one function's summary: the locks its body (or a callee)
+// may acquire, and a description of a blocking operation it may reach.
+type lockFacts struct {
+	acquires map[lockID]bool
+	blocks   string // "" when the function cannot block
+}
+
+// lockEdge is one acquired-before observation: to was acquired while
+// from was held, at pos.
+type lockEdge struct {
+	from, to lockID
+	pos      token.Pos
+	fname    string
+}
+
+func runLockorder(p *Package) []Diagnostic {
+	w := &lockWalker{
+		p:    p,
+		sums: lockSummaries(p),
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.fname = funcDisplayName(fd)
+			w.block(fd.Body.List, map[lockID]token.Pos{})
+		}
+	}
+	w.out = append(w.out, lockCycleDiags(p, w.edges)...)
+	sortDiags(w.out)
+	return w.out
+}
+
+// lockWalker carries the per-package state of the held-set walk.
+type lockWalker struct {
+	p     *Package
+	sums  map[*types.Func]*lockFacts
+	edges []lockEdge
+	fname string
+	out   []Diagnostic
+}
+
+// block walks a statement list, threading the held set through it.
+func (w *lockWalker) block(list []ast.Stmt, held map[lockID]token.Pos) map[lockID]token.Pos {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[lockID]token.Pos) map[lockID]token.Pos {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.flag(s.Pos(), "channel send while %s is held; a blocked receiver stalls every goroutine contending for the lock", heldName(held))
+		}
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end — the
+		// default, since nothing removes it. Other deferred work runs
+		// at return under an unknown held set; skip it here (the
+		// summary pass still sees it for callers).
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit this goroutine's
+		// locks: walk its literal body with an empty held set. The
+		// call's arguments are evaluated now, under the current set.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.block(lit.Body.List, map[lockID]token.Pos{})
+		}
+	case *ast.BlockStmt:
+		held = w.block(s.List, held)
+	case *ast.LabeledStmt:
+		held = w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		var exits []map[lockID]token.Pos
+		thenH := w.block(s.Body.List, copyHeld(held))
+		if !blockTerminates(s.Body.List) {
+			exits = append(exits, thenH)
+		}
+		if s.Else != nil {
+			elseH := w.stmt(s.Else, copyHeld(held))
+			if !stmtTerminates(s.Else) {
+				exits = append(exits, elseH)
+			}
+		} else {
+			exits = append(exits, held)
+		}
+		held = intersectHeld(exits)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		// Loop bodies are assumed lock-balanced per iteration; the
+		// exit state is the entry state.
+		body := w.block(s.Body.List, copyHeld(held))
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := w.p.Info.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					w.flag(s.Pos(), "range over a channel while %s is held; the loop parks inside the critical section", heldName(held))
+				}
+			}
+		}
+		w.expr(s.X, held)
+		w.block(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		held = w.caseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		held = w.caseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			w.flag(s.Pos(), "select with no default while %s is held; the goroutine parks inside the critical section", heldName(held))
+		}
+		var exits []map[lockID]token.Pos
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// The comm op itself is covered by the select-level check
+			// (or non-blocking when a default exists); only the case
+			// body runs afterwards.
+			h := w.block(cc.Body, copyHeld(held))
+			if !blockTerminates(cc.Body) {
+				exits = append(exits, h)
+			}
+		}
+		held = intersectHeld(append(exits, held))
+	}
+	return held
+}
+
+// caseClauses walks a switch body: each case starts from the entry held
+// set, and the exit is the intersection of every falling-through case
+// (plus the entry itself when no default exists).
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, held map[lockID]token.Pos) map[lockID]token.Pos {
+	hasDefault := false
+	var exits []map[lockID]token.Pos
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.expr(e, held)
+		}
+		h := w.block(cc.Body, copyHeld(held))
+		if !blockTerminates(cc.Body) {
+			exits = append(exits, h)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, held)
+	}
+	return intersectHeld(exits)
+}
+
+// expr scans an expression for calls, receives and inline func
+// literals under the current held set.
+func (w *lockWalker) expr(e ast.Expr, held map[lockID]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal in expression position runs synchronously when
+			// invoked (sort.Slice comparators, handler bodies built
+			// in-place); walk it under the current set.
+			w.block(n.Body.List, copyHeld(held))
+			return false
+		case *ast.CallExpr:
+			w.call(n, held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				w.flag(n.Pos(), "channel receive while %s is held; the goroutine parks inside the critical section", heldName(held))
+			}
+		}
+		return true
+	})
+}
+
+// call classifies one call site: lock/unlock transitions, curated
+// blocking stdlib operations, and intra-package callees whose summary
+// acquires locks or may block.
+func (w *lockWalker) call(call *ast.CallExpr, held map[lockID]token.Pos) {
+	if id, op, ok := lockOp(w.p, call); ok {
+		switch op {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			for h := range held {
+				if h != id {
+					w.edges = append(w.edges, lockEdge{from: h, to: id, pos: call.Pos(), fname: w.fname})
+				}
+			}
+			held[id] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(held, id)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	if desc := blockingStdCall(w.p, call); desc != "" {
+		w.flag(call.Pos(), "calls %s while %s is held; move the blocking operation outside the critical section", desc, heldName(held))
+		return
+	}
+	tf := calleeFunc(w.p, call)
+	if tf == nil || tf.Pkg() != w.p.Types {
+		return
+	}
+	sum := w.sums[tf]
+	if sum == nil {
+		return
+	}
+	for id := range sum.acquires {
+		for h := range held {
+			if h != id {
+				w.edges = append(w.edges, lockEdge{from: h, to: id, pos: call.Pos(), fname: w.fname})
+			}
+		}
+	}
+	if sum.blocks != "" {
+		w.flag(call.Pos(), "calls %s, which may block (%s), while %s is held", tf.Name(), sum.blocks, heldName(held))
+	}
+}
+
+func (w *lockWalker) flag(pos token.Pos, format string, args ...any) {
+	w.out = append(w.out, diag(w.p, pos, "lockorder", "%s %s", w.fname,
+		fmt.Sprintf(format, args...)))
+}
+
+// lockSummaries computes each declared function's acquire set and
+// may-block fact, then closes both over the intra-package call graph.
+func lockSummaries(p *Package) map[*types.Func]*lockFacts {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	sums := make(map[*types.Func]*lockFacts, len(decls))
+	calls := make(map[*types.Func][]*types.Func)
+	for obj, fd := range decls {
+		facts := &lockFacts{acquires: make(map[lockID]bool)}
+		nonBlocking := nonBlockingComms(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false // spawned work blocks the goroutine, not the caller
+			case *ast.CallExpr:
+				if id, op, ok := lockOp(p, n); ok {
+					switch op {
+					case "Lock", "RLock", "TryLock", "TryRLock":
+						facts.acquires[id] = true
+					}
+					return true
+				}
+				if desc := blockingStdCall(p, n); desc != "" && facts.blocks == "" {
+					facts.blocks = desc
+				}
+				if tf := calleeFunc(p, n); tf != nil && tf.Pkg() == p.Types {
+					calls[obj] = append(calls[obj], tf)
+				}
+			case *ast.SendStmt:
+				if facts.blocks == "" && !nonBlocking[n.Pos()] {
+					facts.blocks = "channel send"
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && facts.blocks == "" && !nonBlocking[n.Pos()] {
+					facts.blocks = "channel receive"
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault && facts.blocks == "" {
+					facts.blocks = "select"
+				}
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(n.X); t != nil && facts.blocks == "" {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						facts.blocks = "range over channel"
+					}
+				}
+			}
+			return true
+		})
+		sums[obj] = facts
+	}
+
+	// Fixpoint: propagate callees' acquire sets and may-block facts up
+	// through the intra-package call graph.
+	for changed := true; changed; {
+		changed = false
+		for obj, facts := range sums {
+			for _, callee := range calls[obj] {
+				cs := sums[callee]
+				if cs == nil {
+					continue
+				}
+				for id := range cs.acquires {
+					if !facts.acquires[id] {
+						facts.acquires[id] = true
+						changed = true
+					}
+				}
+				if facts.blocks == "" && cs.blocks != "" {
+					facts.blocks = fmt.Sprintf("via %s: %s", callee.Name(), cs.blocks)
+					changed = true
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// nonBlockingComms collects the positions of comm operations inside
+// selects that carry a default clause — those sends/receives cannot
+// park.
+func nonBlockingComms(body ast.Node) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.SendStmt:
+					out[m.Pos()] = true
+				case *ast.UnaryExpr:
+					if m.Op == token.ARROW {
+						out[m.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// lockOp recognizes a sync.Mutex/RWMutex method call and names the lock
+// it operates on.
+func lockOp(p *Package, call *ast.CallExpr) (lockID, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	tf, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", false
+	}
+	sig, ok := tf.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", "", false
+	}
+	switch tf.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return lockIDOf(p, sel.X), tf.Name(), true
+	}
+	return "", "", false
+}
+
+// lockIDOf names the lock behind a receiver expression by declaration.
+func lockIDOf(p *Package, e ast.Expr) lockID {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[x]; ok {
+			if named := namedOf(s.Recv()); named != nil {
+				return lockID(named.Obj().Name() + "." + x.Sel.Name)
+			}
+			return lockID(x.Sel.Name)
+		}
+		// pkg.Var qualified reference.
+		return lockID(x.Sel.Name)
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(types.Object); ok && v.Parent() == p.Types.Scope() {
+			return lockID("pkg-level " + x.Name)
+		}
+		// The receiver is the lock itself: an embedded mutex method
+		// promoted onto a local, or a plain local mutex.
+		if t := p.Info.TypeOf(x); t != nil {
+			if named := namedOf(t); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+				return lockID(named.Obj().Name() + ".Mutex")
+			}
+		}
+		return lockID(x.Name)
+	}
+	if t := p.Info.TypeOf(e); t != nil {
+		if named := namedOf(t); named != nil {
+			return lockID(named.Obj().Name() + ".Mutex")
+		}
+	}
+	return lockID(types.ExprString(e))
+}
+
+// namedOf unwraps pointers to the named type beneath, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// osNonBlocking lists the os functions that touch no file descriptors.
+var osNonBlocking = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Expand": true,
+	"ExpandEnv": true, "Exit": true, "Getpid": true, "Getppid": true,
+	"Getuid": true, "Getgid": true, "Geteuid": true, "TempDir": true,
+	"IsNotExist": true, "IsExist": true, "IsPermission": true,
+	"IsTimeout": true, "IsPathSeparator": true, "NewSyscallError": true,
+}
+
+// netNonBlocking lists the pure-parsing helpers in net.
+var netNonBlocking = map[string]bool{
+	"SplitHostPort": true, "JoinHostPort": true, "ParseIP": true,
+	"ParseCIDR": true, "ParseMAC": true, "IPv4": true, "CIDRMask": true,
+}
+
+// blockingStdCall describes a curated stdlib call that can park or
+// perform I/O, or returns "".
+func blockingStdCall(p *Package, call *ast.CallExpr) string {
+	tf := calleeFunc(p, call)
+	if tf == nil || tf.Pkg() == nil {
+		return ""
+	}
+	pkg, name := tf.Pkg().Path(), tf.Name()
+	switch pkg {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		if name == "Wait" {
+			if sig, ok := tf.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if named := namedOf(sig.Recv().Type()); named != nil {
+					return "sync." + named.Obj().Name() + ".Wait"
+				}
+			}
+		}
+	case "os":
+		if !osNonBlocking[name] {
+			return "os." + name
+		}
+	case "net":
+		if !netNonBlocking[name] {
+			return "net." + name
+		}
+	case "net/http":
+		return "net/http." + name
+	case "io", "bufio":
+		return pkg + "." + name
+	case "fmt":
+		if strings.HasPrefix(name, "Fprint") {
+			return "fmt." + name + " (writes to an io.Writer)"
+		}
+	}
+	return ""
+}
+
+// calleeFunc resolves a call's static callee, or nil for func values
+// and builtins.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	}
+	tf, _ := obj.(*types.Func)
+	return tf
+}
+
+// funcDisplayName renders "(*Store).finish" / "Run" for messages.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// copyHeld clones a held set for branch-local mutation.
+func copyHeld(held map[lockID]token.Pos) map[lockID]token.Pos {
+	out := make(map[lockID]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectHeld keeps the locks held on every continuing path — the
+// sound direction for "may this op run while held" is to under-report
+// after merges rather than invent phantom holds.
+func intersectHeld(sets []map[lockID]token.Pos) map[lockID]token.Pos {
+	if len(sets) == 0 {
+		return map[lockID]token.Pos{}
+	}
+	out := copyHeld(sets[0])
+	for _, s := range sets[1:] {
+		for k := range out {
+			if _, ok := s[k]; !ok {
+				delete(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// heldName picks a deterministic representative lock for messages.
+func heldName(held map[lockID]token.Pos) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}
+
+// blockTerminates reports whether a statement list cannot fall through
+// (its last statement returns, branches away, or panics).
+func blockTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return blockTerminates(s.List)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockCycleDiags reports every acquired-before edge that participates
+// in a cycle: acquiring B while holding A when some other path acquires
+// A while holding B.
+func lockCycleDiags(p *Package, edges []lockEdge) []Diagnostic {
+	adj := make(map[lockID]map[lockID]bool)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[lockID]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	reaches := func(from, to lockID) bool {
+		seen := map[lockID]bool{}
+		stack := []lockID{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			for m := range adj[n] {
+				stack = append(stack, m)
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	seen := map[string]bool{}
+	for _, e := range edges {
+		key := fmt.Sprintf("%v->%v@%d", e.from, e.to, e.pos)
+		if seen[key] || !reaches(e.to, e.from) {
+			continue
+		}
+		seen[key] = true
+		out = append(out, diag(p, e.pos, "lockorder",
+			"%s acquires %s while holding %s, but another path acquires %s while holding %s — lock-order cycle; pick one order",
+			e.fname, e.to, e.from, e.from, e.to))
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package apisurface is the apisurface analyzer's fixture: the
+// neighbouring api_golden.txt freezes a surface this package drifts
+// from in both directions — Added is a new export missing from the
+// golden, and the golden's Removed symbol no longer exists (reported
+// at the package clause, since a removal has no declaration to point
+// at).
+package apisurface // want "removed from the exported API surface"
+
+// Kept matches the golden.
+func Kept() int { return 1 }
+
+// Added is not in the golden.
+func Added() string { return "" } // want "exported surface gained"

@@ -1,0 +1,13 @@
+// Package escapegold is the escapegold scope guard's fixture: a
+// //edvet:hotpath annotation in a package outside the escape-golden
+// scope would silently evade the compiler gate, so it is a diagnostic;
+// unannotated functions are fine anywhere.
+package escapegold
+
+// hot claims hot-path status outside the covered packages.
+//
+//edvet:hotpath
+func hot() {} // want "outside the escape-golden scope"
+
+// cold carries no annotation and is clean.
+func cold() {}

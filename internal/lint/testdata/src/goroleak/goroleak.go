@@ -1,0 +1,93 @@
+// Package goroleak is the goroleak analyzer's fixture: fire-and-forget
+// goroutines (literal and named) are diagnostics; goroutines that
+// watch a context, receive from a channel, range over one, join a
+// WaitGroup, or take a lifecycle-typed argument are clean. One leak
+// carries an explained ignore so the suppression machinery is
+// exercised for the new analyzer name.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func leakLit() {
+	go func() { // want "no visible termination path"
+		for {
+			work()
+		}
+	}()
+}
+
+func leakNamed() {
+	go spin() // want "no visible termination path"
+}
+
+func okCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func okDoneChan(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func okWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func okCtxArg(ctx context.Context) {
+	go watcher(ctx)
+}
+
+func watcher(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func okRange(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+var feed = make(chan int)
+
+// okNamedCallee is judged by the callee's own body: pump drains a
+// channel, so the goroutine ends when feed closes.
+func okNamedCallee() {
+	go pump()
+}
+
+func pump() {
+	for range feed {
+		work()
+	}
+}
+
+func ignoredLeak() {
+	//edvet:ignore goroleak audited: fixture exercises suppression for goroleak
+	go spin() // want "no visible termination path"
+}

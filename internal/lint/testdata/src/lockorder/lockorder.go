@@ -1,0 +1,133 @@
+// Package lockorder is the lockorder analyzer's fixture: blocking
+// operations while a mutex is held (direct, transitive via a callee,
+// and each channel/select/sleep/I-O shape), clean counterparts for the
+// unlock-first and non-blocking-select idioms, and a two-lock
+// acquisition-order cycle.
+package lockorder
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	cache *cache
+	ch    chan int
+}
+
+type cache struct {
+	mu sync.Mutex
+	s  *store
+}
+
+func (s *store) sleepHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+}
+
+func (s *store) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send"
+	s.mu.Unlock()
+}
+
+func (s *store) recvHeld() {
+	s.mu.Lock()
+	<-s.ch // want "channel receive"
+	s.mu.Unlock()
+}
+
+func (s *store) selectHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select with no default"
+	case <-s.ch:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *store) rangeHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch { // want "range over a channel"
+	}
+}
+
+func (s *store) ioHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove("x") // want "os.Remove"
+}
+
+func (s *store) callBlockerHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spill() // want "may block"
+}
+
+func (s *store) spill() {
+	_ = os.WriteFile("x", nil, 0o644)
+}
+
+// cleanUnlockFirst releases the lock before the blocking send — the
+// discipline the analyzer enforces.
+func (s *store) cleanUnlockFirst() {
+	s.mu.Lock()
+	v := 1
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// cleanNonBlockingSelect never parks: the default clause makes the
+// send a try-send.
+func (s *store) cleanNonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// cleanBranches releases on every continuing path, so the receive after
+// the merge runs unheld.
+func (s *store) cleanBranches(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	<-s.ch
+}
+
+// cleanGoroutine: the spawned body does not inherit the spawner's
+// lock, so its receive is fine.
+func (s *store) cleanGoroutine(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		<-done
+	}()
+}
+
+// lockAB and lockBA acquire the same two locks in opposite orders: the
+// acquired-before graph gains store.mu → cache.mu and cache.mu →
+// store.mu, a deadlock-capable cycle flagged at both closing edges.
+func (s *store) lockAB() {
+	s.mu.Lock()
+	s.cache.mu.Lock() // want "lock-order cycle"
+	s.cache.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (c *cache) lockBA() {
+	c.mu.Lock()
+	c.s.mu.Lock() // want "lock-order cycle"
+	c.s.mu.Unlock()
+	c.mu.Unlock()
+}
