@@ -17,7 +17,7 @@ GATE_TOL   ?= 0.15
 
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt lint fuzz bench bench-gate bench-baseline suite golden suite-golden check fix-check
+.PHONY: build test race vet fmt lint lint-escape escape-golden api-golden gate-coverage fuzz bench bench-gate bench-baseline suite golden suite-golden check fix-check
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,29 @@ fmt:
 # & static analysis" section.
 lint: vet
 	$(GO) run ./cmd/edvet ./...
+
+# The compiler-fact gate: escape/heap decisions inside //edvet:hotpath
+# functions must match the committed golden (the pinned toolchain in
+# go.mod keeps the facts runner-stable). Fails on any drift.
+lint-escape:
+	$(GO) run ./cmd/edvet -escape
+
+# Regenerate the escape golden after an intentional hot-path change —
+# the mirror of `make golden` for compiler facts. Commit the result.
+escape-golden:
+	$(GO) run ./cmd/edvet -escape -update
+
+# Regenerate the API-surface golden after an intentional change to the
+# root package's exported surface. Commit the result.
+api-golden:
+	$(GO) run ./cmd/edvet -update
+
+# Guard against a GATE_BENCH typo silently gating nothing: every
+# top-level alternative of the gate regexp must match a benchmark that
+# actually exists in the test binaries.
+gate-coverage:
+	$(GO) test -run '^$$' -list 'Benchmark.*' ./... \
+	  | $(GO) run ./tools/benchjson -covered '$(GATE_BENCH)'
 
 check: fmt lint build test
 

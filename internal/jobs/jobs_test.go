@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -420,5 +421,64 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition never became true")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseTerminatesGoroutines pins at runtime what goroleak proves
+// statically: the worker pool, the TTL janitor and a live event
+// subscriber all exit once the Store closes (workers and janitor join
+// the store WaitGroup via the base context; the subscriber joins a
+// done channel). A revert of that lifecycle discipline leaves the
+// goroutine count elevated and fails the settle loop below.
+func TestCloseTerminatesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s, err := New(Options{Workers: 3, TTL: time.Minute})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// A job parked on its context, so Close has something running to
+	// cancel.
+	started := make(chan struct{})
+	j, err := s.Submit("park", 0, func(ctx context.Context, _ *Job) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+
+	// An event subscriber following the live job, joined on its own
+	// done channel.
+	subCtx, subCancel := context.WithCancel(context.Background())
+	defer subCancel()
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		_ = j.Events(subCtx, 0, func(Event) error { return nil })
+	}()
+
+	s.Close()
+	subCancel()
+	select {
+	case <-subDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("event subscriber did not exit after Close + cancel")
+	}
+
+	// Goroutine exits land asynchronously after Close returns; settle
+	// before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after Close: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

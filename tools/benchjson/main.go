@@ -16,6 +16,12 @@
 // ns/op or allocs/op — the CI benchmark-regression gate (see `make
 // bench-gate`). Repeated lines of one benchmark (-count=N) are reduced
 // to their minimum first, so scheduler noise inflates neither side.
+//
+// With -covered REGEXP the command instead reads `go test -list
+// 'Benchmark.*'` output on stdin and verifies every top-level
+// alternative of the regexp matches at least one listed benchmark —
+// the `make gate-coverage` guard against a GATE_BENCH typo silently
+// gating nothing.
 package main
 
 import (
@@ -23,9 +29,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -69,7 +77,16 @@ func main() {
 	gate := flag.String("gate", "", "baseline ledger entry to gate against (empty: no gating)")
 	gateMatch := flag.String("gate-match", ".", "regexp selecting the benchmarks the gate checks")
 	gateTol := flag.Float64("gate-tol", 0.15, "allowed fractional regression in ns/op and allocs/op")
+	covered := flag.String("covered", "", "verify every top-level alternative of this regexp matches a benchmark listed on stdin, then exit")
 	flag.Parse()
+
+	if *covered != "" {
+		if err := checkCovered(os.Stdin, *covered); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
@@ -140,6 +157,70 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// checkCovered reads `go test -list 'Benchmark.*'` output and verifies
+// each top-level alternative of expr matches at least one listed
+// benchmark, so a typo in GATE_BENCH cannot silently gate nothing.
+func checkCovered(r io.Reader, expr string) error {
+	var names []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "Benchmark") && !strings.ContainsAny(line, " \t") {
+			names = append(names, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("-covered: no benchmarks listed on stdin (pipe `go test -run '^$' -list 'Benchmark.*' ./...` in)")
+	}
+	var missing []string
+	for _, alt := range splitAlternatives(expr) {
+		re, err := regexp.Compile(alt)
+		if err != nil {
+			return fmt.Errorf("-covered: alternative %q: %v", alt, err)
+		}
+		found := false
+		for _, n := range names {
+			if re.MatchString(n) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, alt)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("-covered: no benchmark among the %d listed matches %q — typo in GATE_BENCH?",
+			len(names), strings.Join(missing, `", "`))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate coverage ok: every alternative of %q matches one of %d benchmarks\n", expr, len(names))
+	return nil
+}
+
+// splitAlternatives splits a regexp on its top-level '|' separators
+// (alternation inside parentheses stays attached to its alternative).
+func splitAlternatives(expr string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range expr {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '|':
+			if depth == 0 {
+				out = append(out, expr[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, expr[start:])
 }
 
 // metric is one benchmark's gated measurements, reduced to the minimum

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitAlternatives(t *testing.T) {
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"A|B|C", []string{"A", "B", "C"}},
+		{"SimulatorEventRate(Lossy|Faulty)?|ServeOptimizeCached|JobsSubmitPoll",
+			[]string{"SimulatorEventRate(Lossy|Faulty)?", "ServeOptimizeCached", "JobsSubmitPoll"}},
+		{"Single", []string{"Single"}},
+	}
+	for _, c := range cases {
+		got := splitAlternatives(c.expr)
+		if len(got) != len(c.want) {
+			t.Errorf("splitAlternatives(%q) = %v, want %v", c.expr, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitAlternatives(%q)[%d] = %q, want %q", c.expr, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestCheckCovered(t *testing.T) {
+	list := strings.Join([]string{
+		"BenchmarkSimulatorEventRate",
+		"BenchmarkSimulatorEventRateLossy",
+		"BenchmarkServeOptimizeCached",
+		"ok  \tgithub.com/edmac-project/edmac\t0.1s",
+	}, "\n")
+
+	if err := checkCovered(strings.NewReader(list), "SimulatorEventRate(Lossy)?|ServeOptimizeCached"); err != nil {
+		t.Errorf("covered gate rejected a fully-covered regexp: %v", err)
+	}
+	err := checkCovered(strings.NewReader(list), "SimulatorEventRate|JobsSubmitPol")
+	if err == nil || !strings.Contains(err.Error(), "JobsSubmitPol") {
+		t.Errorf("covered gate missed the uncovered alternative: err = %v", err)
+	}
+	if err := checkCovered(strings.NewReader(""), "Anything"); err == nil {
+		t.Error("covered gate accepted an empty benchmark list")
+	}
+}
